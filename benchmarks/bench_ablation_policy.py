@@ -1,0 +1,117 @@
+"""Ablation A3 — policy-engine knobs under fabric latency volatility.
+
+The offset controller exists because "the remote swap latency is
+volatile" (Section I, point 5).  Sweeping alpha on a jittery, spiky
+fabric: alpha=0 (no adaptation) leaves prefetches late; a moderate
+alpha tracks volatility; the exact value is not critical (the paper
+simply picks 0.2).  Also sweeps prefetch intensity on a congested
+fabric, where fetching >1 page per hot page rides out bandwidth dips.
+"""
+
+import pytest
+
+from repro.analysis.report import print_artifact, render_table
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.hopp.policy import PolicyConfig
+from repro.hopp.system import HoppConfig, HoppDataPlane
+from repro.net.rdma import FabricConfig
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.runner import collect, make_machine
+from repro.sim.systems import SystemSpec
+from repro.workloads import build
+
+from common import SEED, time_one
+
+#: A deliberately nasty fabric: heavy jitter, frequent big spikes.
+VOLATILE = FabricConfig(
+    jitter_us=2.0, spike_probability=0.05, spike_factor=8.0, seed=SEED
+)
+
+
+def hopp_with_policy(policy: PolicyConfig) -> SystemSpec:
+    def builder(config: MachineConfig) -> Machine:
+        machine = Machine(config, fault_prefetcher=FastswapPrefetcher())
+        plane = HoppDataPlane(machine, HoppConfig(policy=policy))
+        machine.hopp = plane
+        machine.controller.add_tap(plane.on_mc_access)
+        return machine
+
+    return SystemSpec(name="hopp-policy-variant", builder=builder)
+
+
+def run_policy(policy: PolicyConfig, label: str):
+    workload = build("adder", seed=SEED)
+    machine = make_machine(workload, hopp_with_policy(policy), 0.25, VOLATILE)
+    machine.run(workload.trace())
+    return collect(machine, label, workload.name)
+
+
+@pytest.mark.benchmark(group="ablation-policy")
+def test_ablation_alpha_sweep(benchmark):
+    time_one(benchmark, lambda: run_policy(PolicyConfig(alpha=0.2), "a0.2"))
+
+    rows = []
+    completion = {}
+    for alpha in (0.0, 0.05, 0.2, 0.5):
+        config = (
+            PolicyConfig(adaptive=False)
+            if alpha == 0.0
+            else PolicyConfig(alpha=alpha)
+        )
+        result = run_policy(config, f"alpha={alpha}")
+        completion[alpha] = result.completion_time_us
+        rows.append(
+            [f"alpha={alpha}", result.completion_time_us, result.coverage,
+             result.prefetch_hit_inflight]
+        )
+    print_artifact(
+        "Ablation A3a: offset-adaptation alpha under a volatile fabric",
+        render_table(
+            ["config", "completion (us)", "coverage", "late (inflight) hits"],
+            rows,
+        ),
+    )
+
+    # Any adaptation beats none; the default 0.2 is near the best.
+    best = min(completion.values())
+    assert completion[0.0] > best
+    assert completion[0.2] <= best * 1.1
+
+
+@pytest.mark.benchmark(group="ablation-policy")
+def test_ablation_intensity_on_congested_fabric(benchmark):
+    congested = FabricConfig(gbps=6.0, jitter_us=1.0, seed=SEED)
+
+    def run_intensity(intensity: int):
+        workload = build("adder", seed=SEED)
+        machine = make_machine(
+            workload,
+            hopp_with_policy(PolicyConfig(intensity=intensity)),
+            0.25,
+            congested,
+        )
+        machine.run(workload.trace())
+        return collect(machine, f"i{intensity}", workload.name)
+
+    time_one(benchmark, lambda: run_intensity(1))
+
+    rows = []
+    results = {}
+    for intensity in (1, 2, 4):
+        result = run_intensity(intensity)
+        results[intensity] = result
+        rows.append(
+            [f"intensity={intensity}", result.completion_time_us,
+             result.coverage, result.prefetch_hit_inflight]
+        )
+    print_artifact(
+        "Ablation A3b: prefetch intensity on a congested (6 Gbps) fabric",
+        render_table(
+            ["config", "completion (us)", "coverage", "late (inflight) hits"],
+            rows,
+        ),
+    )
+
+    # On a slow link, intensity > 1 keeps coverage from collapsing
+    # (Section III-E's rationale for the knob).
+    assert results[2].coverage >= results[1].coverage - 0.02

@@ -1,0 +1,82 @@
+"""Ablation A1 — Stream Training Table parameters.
+
+Sweeps the history length L (paper default 16) and the clustering
+distance Delta_stream (paper default 64) on the stream microbenchmarks.
+Expected shapes: tiny L weakens noise robustness (accuracy drops on the
+interleaved/noisy stream), huge L delays training (coverage drops on
+short streams); a tiny Delta splinters streams, a huge Delta merges
+unrelated ones.
+"""
+
+import pytest
+
+from repro.analysis.report import print_artifact, render_table
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.hopp.system import HoppConfig, HoppDataPlane
+from repro.net.rdma import FabricConfig
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.runner import collect, make_machine
+from repro.sim.systems import SystemSpec
+from repro.workloads import build
+
+from common import SEED, time_one
+
+
+def hopp_with_stt(history_len: int, delta: int) -> SystemSpec:
+    def builder(config: MachineConfig) -> Machine:
+        machine = Machine(config, fault_prefetcher=FastswapPrefetcher())
+        plane = HoppDataPlane(
+            machine,
+            HoppConfig(stt_history_len=history_len, stt_stream_delta=delta),
+        )
+        machine.hopp = plane
+        machine.controller.add_tap(plane.on_mc_access)
+        return machine
+
+    return SystemSpec(name=f"hopp-L{history_len}-d{delta}", builder=builder)
+
+
+def run_variant(workload_name: str, history_len: int, delta: int, **wl_kwargs):
+    workload = build(workload_name, seed=SEED, **wl_kwargs)
+    machine = make_machine(
+        workload, hopp_with_stt(history_len, delta), 0.5, FabricConfig(seed=SEED)
+    )
+    machine.run(workload.trace())
+    return collect(machine, f"L{history_len}-d{delta}", workload_name)
+
+
+@pytest.mark.benchmark(group="ablation-stt")
+def test_ablation_stt_history_length(benchmark):
+    time_one(benchmark, lambda: run_variant("stream-interleaved", 16, 64))
+
+    rows = []
+    coverage = {}
+    for history_len in (6, 16, 48):
+        result = run_variant("stream-interleaved", history_len, 64)
+        coverage[history_len] = result.coverage
+        rows.append([f"L={history_len}", result.accuracy, result.coverage])
+    print_artifact(
+        "Ablation A1a: STT history length L (interleaved streams + noise)",
+        render_table(["config", "accuracy", "coverage"], rows),
+    )
+    # The paper's L=16 midpoint is competitive with both extremes.
+    assert coverage[16] >= max(coverage[6], coverage[48]) - 0.05
+
+
+@pytest.mark.benchmark(group="ablation-stt")
+def test_ablation_stt_stream_delta(benchmark):
+    time_one(benchmark, lambda: run_variant("stream-interleaved", 16, 4))
+
+    rows = []
+    coverage = {}
+    for delta in (4, 64, 1024):
+        result = run_variant("stream-interleaved", 16, delta)
+        coverage[delta] = result.coverage
+        rows.append([f"delta={delta}", result.accuracy, result.coverage])
+    print_artifact(
+        "Ablation A1b: STT clustering distance Delta_stream",
+        render_table(["config", "accuracy", "coverage"], rows),
+    )
+    # Stride-2 streams need delta >= stride window; delta=4 still works
+    # for these micros, but the default must not trail the best by much.
+    assert coverage[64] >= max(coverage.values()) - 0.05

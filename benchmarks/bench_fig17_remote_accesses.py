@@ -1,0 +1,51 @@
+"""Figure 17 — remote memory accesses of Depth-N, Fastswap, and HoPP,
+normalized to Fastswap *without prefetching* (demand paging only).
+
+Paper shapes: Depth-N issues the most remote reads of the four (its
+rigid window cannot adapt), and although HoPP does not necessarily have
+the maximum reduction, it has the best performance (Figure 16) thanks
+to early PTE injection *with* feedback.
+"""
+
+import pytest
+
+from repro.analysis.report import print_artifact, render_table
+
+from common import get_result, paper_fraction, time_one
+
+APPS = ["graphx-bfs", "omp-kmeans", "graphx-cc", "npb-mg"]
+SYSTEMS = ["depth-16", "depth-32", "fastswap", "hopp"]
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_normalized_remote_accesses(benchmark):
+    time_one(
+        benchmark,
+        lambda: get_result("graphx-bfs", "noprefetch", paper_fraction("graphx-bfs")),
+    )
+
+    rows = []
+    ratios = {}
+    for app in APPS:
+        fraction = paper_fraction(app)
+        baseline = get_result(app, "noprefetch", fraction).remote_accesses
+        row = [app]
+        for system in SYSTEMS:
+            ratio = get_result(app, system, fraction).remote_accesses / max(baseline, 1)
+            ratios[(app, system)] = ratio
+            row.append(ratio)
+        rows.append(row)
+    print_artifact(
+        "Figure 17: remote accesses normalized to no-prefetch Fastswap",
+        render_table(["workload"] + SYSTEMS, rows),
+    )
+
+    # Depth-N is the most remote-access-hungry overall.
+    depth32_total = sum(ratios[(app, "depth-32")] for app in APPS)
+    for system in ("fastswap", "hopp"):
+        assert depth32_total > sum(ratios[(app, system)] for app in APPS)
+    # On the irregular graph apps, Depth-32 is the single worst.
+    for app in ("graphx-bfs", "graphx-cc"):
+        assert ratios[(app, "depth-32")] == max(
+            ratios[(app, system)] for system in SYSTEMS
+        )

@@ -1,0 +1,69 @@
+"""Table III — RPT cache hit rate vs cache size (1..64 KB).
+
+Paper rows (K-means, PageRank): hit rate climbs from ~0.85-0.92 at 1 KB
+to ~0.997 at 64 KB, with diminishing returns past 32 KB.  The hit rate
+is high because a hot page was usually just fetched from remote, so its
+PTE hook freshly installed the RPT entry in the cache (Section III-C).
+
+Method: run the full HoPP machine (hooks, swapping, prefetching) with
+the RPT cache size under test and read the lookup-path hit rate.
+"""
+
+import pytest
+
+from repro.analysis.report import print_artifact, render_table
+from repro.hopp.system import HoppConfig, HoppDataPlane
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.net.rdma import FabricConfig
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.runner import make_machine
+from repro.sim.systems import SystemSpec
+from repro.workloads import build
+
+from common import SEED, time_one
+
+SIZES_KB = (1, 2, 4, 8, 16, 32, 64)
+
+WORKLOADS = {
+    "K-means": ("omp-kmeans", dict(data_pages=1200, iterations=2)),
+    "PgRank": ("graphx-pr", dict(edge_pages=1500, vertex_pages=250)),
+}
+
+
+def hopp_with_rpt_cache(size_kb: int) -> SystemSpec:
+    def builder(config: MachineConfig) -> Machine:
+        machine = Machine(config, fault_prefetcher=FastswapPrefetcher())
+        plane = HoppDataPlane(machine, HoppConfig(rpt_cache_kb=size_kb))
+        machine.hopp = plane
+        machine.controller.add_tap(plane.on_mc_access)
+        return machine
+
+    return SystemSpec(name=f"hopp-rpt{size_kb}k", builder=builder)
+
+
+def rpt_hit_rate(name: str, kwargs: dict, size_kb: int) -> float:
+    workload = build(name, seed=SEED, **kwargs)
+    machine = make_machine(
+        workload, hopp_with_rpt_cache(size_kb), 0.5, FabricConfig(seed=SEED)
+    )
+    machine.run(workload.trace())
+    return machine.hopp.rpt_cache.hit_rate
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_rpt_cache_size(benchmark):
+    time_one(benchmark, lambda: rpt_hit_rate("omp-kmeans", WORKLOADS["K-means"][1], 64))
+
+    rows = []
+    for label, (name, kwargs) in WORKLOADS.items():
+        rates = [rpt_hit_rate(name, kwargs, kb) for kb in SIZES_KB]
+        rows.append([label] + [f"{r:.3f}" for r in rates])
+        # Shapes: 64 KB nearly perfect; growth with size; diminishing
+        # returns at the top end (paper: <0.1% gain past 32 KB).
+        assert rates[-1] > 0.95
+        assert rates[-1] >= rates[0]
+        assert rates[-1] - rates[-2] < 0.05
+    print_artifact(
+        "Table III: RPT cache hit rate vs size",
+        render_table(["Workload"] + [f"{kb}KB" for kb in SIZES_KB], rows),
+    )

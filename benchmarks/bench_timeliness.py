@@ -1,0 +1,58 @@
+"""Section VI-A's third metric — timeliness.
+
+Timeliness is "the time gap from the time a prefetched page is received
+to the time it is first hit".  The policy engine's whole job
+(Section III-E) is keeping it inside [T_min = 40 µs, T_max = 5 ms]:
+smaller risks late pages, larger wastes local memory.  This bench
+prints the distribution HoPP actually achieves per application and
+asserts the controller keeps the bulk of hits inside the target window.
+"""
+
+import pytest
+
+from repro.analysis.report import print_artifact, render_table
+from repro.common.constants import POLICY_T_MAX_US, POLICY_T_MIN_US
+
+from common import get_result, time_one
+
+APPS = ["omp-kmeans", "quicksort", "hpl", "npb-mg", "npb-is"]
+FRACTION = 0.5
+
+
+@pytest.mark.benchmark(group="timeliness")
+def test_timeliness_distribution(benchmark):
+    time_one(benchmark, lambda: get_result("omp-kmeans", "hopp", FRACTION))
+
+    rows = []
+    in_window_fractions = []
+    for app in APPS:
+        result = get_result(app, "hopp", FRACTION)
+        hist = result.timeliness
+        assert hist is not None and hist.stat.count > 0
+        p50 = hist.quantile(0.5)
+        p90 = hist.quantile(0.9)
+        # Fraction of hits whose T landed in the policy's target window.
+        in_window = sum(
+            count
+            for bound, count in zip(hist.bounds, hist.counts)
+            if POLICY_T_MIN_US <= bound <= POLICY_T_MAX_US
+        ) / hist.total
+        in_window_fractions.append(in_window)
+        rows.append(
+            [app, hist.stat.count, hist.stat.mean, p50, p90, f"{in_window:.0%}"]
+        )
+    print_artifact(
+        f"Section VI-A metric: prefetch timeliness "
+        f"(target window [{POLICY_T_MIN_US:.0f} us, {POLICY_T_MAX_US:.0f} us])",
+        render_table(
+            ["workload", "measured hits", "mean (us)", "p50 (us)", "p90 (us)",
+             "in window"],
+            rows,
+            precision=1,
+        ),
+    )
+
+    # The controller keeps the majority of hits inside the window on
+    # the streaming apps.
+    assert max(in_window_fractions) > 0.6
+    assert sum(in_window_fractions) / len(in_window_fractions) > 0.4

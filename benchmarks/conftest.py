@@ -1,0 +1,6 @@
+"""Make `pytest benchmarks/` work from the repository root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Graph analytics on far memory — the paper's motivating datacenter
+scenario (GraphX on Spark, Section VI-B).
+
+Runs the four GraphX kernels with a third of their footprint local
+(the paper gives them 11 GB of 33 GB) and shows where HoPP's win comes
+from: PID+VPN-tagged hot pages let the trainer follow each RDD
+partition's stream even though the JVM scatters them, while Fastswap
+can only cluster on swap-slot adjacency.
+
+    python examples/graph_analytics.py
+"""
+
+import repro
+
+KERNELS = ["graphx-pr", "graphx-cc", "graphx-bfs", "graphx-lp"]
+LOCAL_FRACTION = 1 / 3
+
+
+def main() -> None:
+    print(
+        f"GraphX suite, local memory = {LOCAL_FRACTION:.0%} of footprint "
+        "(paper: 11 GB of 33 GB)\n"
+    )
+    header = (
+        f"{'kernel':11s} {'fastswap':>9s} {'hopp':>7s} {'win':>7s} "
+        f"{'hopp-acc':>8s} {'hopp-cov':>8s} {'dram-hits':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    wins = []
+    for name in KERNELS:
+        workload = repro.workloads.build(name, seed=7)
+        ct_local = repro.local_completion_time(workload)
+        fast = repro.run(workload, "fastswap", LOCAL_FRACTION)
+        hopp = repro.run(workload, "hopp", LOCAL_FRACTION)
+        np_fast = fast.normalized_performance(ct_local)
+        np_hopp = hopp.normalized_performance(ct_local)
+        win = np_hopp / np_fast - 1
+        wins.append(win)
+        print(
+            f"{name:11s} {np_fast:9.3f} {np_hopp:7.3f} {win:6.1%} "
+            f"{hopp.accuracy:8.3f} {hopp.coverage:8.3f} "
+            f"{hopp.prefetch_hit_dram:9d}"
+        )
+    print(f"\naverage HoPP improvement over Fastswap: {sum(wins)/len(wins):.1%}")
+    print(
+        "(paper reports +34.7% on average for the Spark suite; the JVM's\n"
+        " segmented allocation keeps streams short, so the win is smaller\n"
+        " than on the C/OMP applications)"
+    )
+
+
+if __name__ == "__main__":
+    main()

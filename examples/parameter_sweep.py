@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Research-style parameter sweep using the sweep harness.
+
+Sweeps local-memory pressure (the paper's 50%/25% axis, extended) for
+three systems on two workloads and prints the normalized-performance
+series — the data behind a Figure-9-style plot.
+
+    python examples/parameter_sweep.py
+"""
+
+from repro.analysis import render_table
+from repro.analysis.sweeps import sweep
+
+
+def main() -> None:
+    result = sweep(
+        workloads=["omp-kmeans", "npb-cg"],
+        systems=["fastswap", "depth-32", "hopp"],
+        fractions=[0.125, 0.25, 0.5, 0.75],
+        seed=7,
+        workload_kwargs={
+            "omp-kmeans": dict(data_pages=1200, iterations=2),
+            "npb-cg": dict(main_pages=1200, iterations=2),
+        },
+    )
+
+    print(render_table(
+        ["workload", "system", "fraction", "norm-perf", "accuracy", "coverage"],
+        result.to_rows(["normalized_performance", "accuracy", "coverage"]),
+        title="local-memory pressure sweep",
+    ))
+
+    print("\nnormalized-performance series (x = local fraction):")
+    for workload in ("omp-kmeans", "npb-cg"):
+        print(f"  {workload}:")
+        filtered = [p for p in result.points if p.workload == workload]
+        for system in ("fastswap", "depth-32", "hopp"):
+            values = [
+                (p.fraction, result.metric(p, "normalized_performance"))
+                for p in filtered if p.system == system
+            ]
+            series = "  ".join(f"{frac:.3f}->{value:.3f}" for frac, value in sorted(values))
+            print(f"    {system:9s} {series}")
+    print(
+        "\nfastswap degrades steadily as memory shrinks (every fault pays\n"
+        "the 2.3 us prefetch-hit toll at best); hopp holds near-local until\n"
+        "extreme pressure, where prefetched pages start evicting each other\n"
+        "— the same cliff the Depth-N systems hit earlier on irregular apps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Capture → persist → analyze: the offline-trace workflow the paper's
+own methodology used (HMTT traces studied offline drove the discovery
+of ladder and ripple streams, Section II-B).
+
+1. attach an HMTT tracer to the simulated memory controller;
+2. run a workload and persist the captured trace (8-byte records:
+   seq / timestamp / R-W / physical address);
+3. reload the file and classify its stream patterns offline.
+
+    python examples/trace_capture.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import analyze_trace
+from repro.net.rdma import FabricConfig
+from repro.sim import runner
+from repro.trace import HmttTracer, load_trace, write_trace
+from repro.workloads import build
+
+
+def main() -> None:
+    workload = build("hpl", seed=7)
+    machine = runner.make_machine(workload, "noprefetch", 4.0, FabricConfig(seed=7))
+    tracer = HmttTracer(reads_only=True)  # the HPD only consumes READs
+    tracer.attach(machine.controller)
+
+    print(f"running {workload.name} and capturing its MC trace...")
+    machine.run(workload.trace())
+    records = tracer.ring.drain()
+    print(f"captured {len(records)} READ records "
+          f"({tracer.ring.dropped} dropped by the ring)")
+
+    path = Path(tempfile.gettempdir()) / "hopp-hpl.hmtt"
+    written = write_trace(path, records)
+    size_kb = path.stat().st_size / 1024
+    print(f"persisted {written} records to {path} ({size_kb:.0f} KiB, "
+          f"8 bytes/record)\n")
+
+    print("offline stream-pattern study (the Section II-B method):")
+    loaded = load_trace(path)
+    ppns = [record.ppn for record in loaded]
+    # Collapse cacheline records to page visits.
+    visits = [p for i, p in enumerate(ppns) if i == 0 or p != ppns[i - 1]]
+    breakdown = analyze_trace(visits)
+    for label in ("simple", "ladder", "ripple", "irregular"):
+        bar = "#" * int(breakdown.fraction(label) * 40)
+        print(f"  {label:9s} {breakdown.fraction(label):6.1%}  {bar}")
+    print(
+        "\nthe ladder share is what SSP alone cannot prefetch — the "
+        "evidence\nthat led to LSP (Algorithm 1) in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works without the `wheel` package
+(offline environments with legacy setuptools editable installs)."""
+
+from setuptools import setup
+
+setup()

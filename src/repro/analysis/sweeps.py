@@ -1,0 +1,117 @@
+"""Parameter-sweep utilities for research use.
+
+A light harness over the runner: define a grid of (workload, system,
+fraction, fabric) points, run them once each, and get the results as
+labeled series ready for tables or plotting.  The benches hand-roll
+their specific sweeps for transparency; this module is the general
+tool a downstream user reaches for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.net.rdma import FabricConfig
+from repro.sim import runner
+from repro.sim.metrics import RunResult
+from repro.sim.systems import SystemSpec
+from repro.workloads import build as build_workload
+
+#: A metric extractor: RunResult -> float.
+Metric = Callable[[RunResult], float]
+
+METRICS: Dict[str, Metric] = {
+    "accuracy": lambda r: r.accuracy,
+    "coverage": lambda r: r.coverage,
+    "completion_time_us": lambda r: r.completion_time_us,
+    "page_faults": lambda r: float(r.page_faults),
+    "remote_accesses": lambda r: float(r.remote_accesses),
+    "prefetch_wasted": lambda r: float(r.prefetch_wasted),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    workload: str
+    system: str
+    fraction: float
+    seed: int = 1
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint]
+    results: Dict[SweepPoint, RunResult]
+    ct_local: Dict[Tuple[str, int], float]
+
+    def metric(self, point: SweepPoint, name: str) -> float:
+        if name == "normalized_performance":
+            return self.results[point].normalized_performance(
+                self.ct_local[(point.workload, point.seed)]
+            )
+        return METRICS[name](self.results[point])
+
+    def series(
+        self,
+        metric: str,
+        group_by: str = "system",
+        x_axis: str = "fraction",
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Pivot into {group_label: [(x, y), ...]} for plotting.
+
+        ``group_by``/``x_axis`` name SweepPoint fields.
+        """
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for point in self.points:
+            label = str(getattr(point, group_by))
+            x = getattr(point, x_axis)
+            out.setdefault(label, []).append(
+                (float(x) if not isinstance(x, str) else 0.0,
+                 self.metric(point, metric))
+            )
+        for values in out.values():
+            values.sort()
+        return out
+
+    def to_rows(self, metrics: Sequence[str]) -> List[List[object]]:
+        """Flat rows (one per point) for render_table / CSV export."""
+        rows: List[List[object]] = []
+        for point in self.points:
+            rows.append(
+                [point.workload, point.system, point.fraction]
+                + [self.metric(point, name) for name in metrics]
+            )
+        return rows
+
+
+def sweep(
+    workloads: Iterable[str],
+    systems: Iterable[Union[str, SystemSpec]],
+    fractions: Iterable[float],
+    seed: int = 1,
+    fabric: Optional[FabricConfig] = None,
+    workload_kwargs: Optional[Dict[str, dict]] = None,
+) -> SweepResult:
+    """Run the full cross product and collect results.
+
+    ``workload_kwargs`` maps workload name -> constructor overrides
+    (e.g. scaled-down instances for quick sweeps).
+    """
+    fabric = fabric or FabricConfig(seed=seed)
+    workload_kwargs = workload_kwargs or {}
+    points: List[SweepPoint] = []
+    results: Dict[SweepPoint, RunResult] = {}
+    ct_local: Dict[Tuple[str, int], float] = {}
+    for name, system, fraction in itertools.product(
+        workloads, systems, fractions
+    ):
+        system_name = system if isinstance(system, str) else system.name
+        point = SweepPoint(name, system_name, fraction, seed)
+        workload = build_workload(name, seed=seed, **workload_kwargs.get(name, {}))
+        if (name, seed) not in ct_local:
+            ct_local[(name, seed)] = runner.local_completion_time(workload, fabric)
+        results[point] = runner.run(workload, system, fraction, fabric)
+        points.append(point)
+    return SweepResult(points=points, results=results, ct_local=ct_local)

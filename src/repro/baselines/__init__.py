@@ -1,0 +1,16 @@
+"""Kernel-based baseline prefetchers the paper compares against."""
+
+from repro.baselines.base import FaultTimePrefetcher, NoPrefetch
+from repro.baselines.depthn import DepthNPrefetcher
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.baselines.leap import LeapPrefetcher
+from repro.baselines.vma_readahead import VmaReadaheadPrefetcher
+
+__all__ = [
+    "FaultTimePrefetcher",
+    "NoPrefetch",
+    "DepthNPrefetcher",
+    "FastswapPrefetcher",
+    "LeapPrefetcher",
+    "VmaReadaheadPrefetcher",
+]

@@ -1,0 +1,64 @@
+"""Fault-time prefetcher interface shared by the kernel-based baselines.
+
+Unlike HoPP's asynchronous data plane, every baseline prefetcher runs
+*inside the page-fault handler*: it only learns from faulting addresses
+and can only act when a fault occurs — the semantic gap Section II-B is
+about.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class FaultTimePrefetcher(abc.ABC):
+    """Called from the fault path with the faulting page's identity.
+
+    ``inject_pte`` selects the destination of prefetched pages: False
+    lands them in the swapcache (Fastswap, Leap, VMA read-ahead — a later
+    access still faults, 2.3 us); True injects the PTE on arrival
+    (Depth-N).
+    """
+
+    name: str = "base"
+    inject_pte: bool = False
+
+    @abc.abstractmethod
+    def on_fault(
+        self,
+        pid: int,
+        vpn: int,
+        slot: int,
+        now_us: float,
+        machine: "Machine",
+    ) -> List[Tuple[int, int]]:
+        """Return the (pid, vpn) pages to prefetch alongside this fault.
+
+        ``slot`` is the faulting page's swap slot (-1 when it was never
+        swapped), which is all Fastswap's read-ahead can cluster on.
+        """
+
+    def on_prefetch_hit(
+        self, pid: int, vpn: int, now_us: float, machine=None
+    ) -> None:
+        """Feedback: a page this prefetcher brought in was hit in the
+        swapcache.  Baselines that adapt their window use this;
+        ``machine`` (when provided) allows page-placement hints such as
+        Leap's eager cache eviction."""
+
+    def on_prefetch_wasted(self, pid: int, vpn: int) -> None:
+        """Feedback: a prefetched page was reclaimed without being hit."""
+
+
+class NoPrefetch(FaultTimePrefetcher):
+    """Demand paging only — the 'Fastswap without prefetching' baseline
+    that normalizes Figure 17's remote-access counts."""
+
+    name = "noprefetch"
+
+    def on_fault(self, pid, vpn, slot, now_us, machine):
+        return []

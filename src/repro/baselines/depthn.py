@@ -1,0 +1,33 @@
+"""Depth-N prefetching with early PTE injection (Awad et al., ICS '16).
+
+On every major fault at VPN v, fetch v+1 .. v+N and *inject their PTEs*
+on arrival.  Because injected pages never fault, Depth-N gets no feedback
+— it cannot tell hits from waste, so N stays fixed (Section II-C's
+"limited prefetching flexibility"), it loses the very fault history that
+would let it adapt, and its wrong guesses sit at the MRU end of the LRU
+list where they are hard to evict.  Figure 16/17 show the consequence:
+the most remote accesses of all four systems and losses to Fastswap on
+irregular applications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.base import FaultTimePrefetcher
+
+
+class DepthNPrefetcher(FaultTimePrefetcher):
+    inject_pte = True
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.name = f"depth-{depth}"
+
+    def on_fault(self, pid, vpn, slot, now_us, machine) -> List[Tuple[int, int]]:
+        return [(pid, vpn + k) for k in range(1, self.depth + 1)]
+
+    # No feedback hooks on purpose: injected pages never fault, and the
+    # algorithm has no other address source (Section II-C).

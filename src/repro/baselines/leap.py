@@ -1,0 +1,111 @@
+"""Leap's majority-based prefetcher (Maruf & Chowdhury, ATC '20).
+
+Leap records the last W faulting page addresses in a global access
+history and, on each fault, looks for a *majority stride* among the
+strides of that window; if one exists it prefetches along it, otherwise
+it falls back to a small fixed read-ahead around the fault.
+
+The history is global — Leap cannot attribute faults to streams — so
+with concurrent streams (Figure 1, and the two-thread microbenchmark of
+Section VI-E) the strides of interleaved streams alias and the majority
+vote either fails or elects a wrong stride.  That is the limitation
+HoPP's full trace + pages clustering removes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, Tuple
+
+from repro.baselines.base import FaultTimePrefetcher
+
+
+class LeapPrefetcher(FaultTimePrefetcher):
+    name = "leap"
+    inject_pte = False
+
+    def __init__(
+        self,
+        window: int = 8,
+        max_prefetch: int = 8,
+        fallback_prefetch: int = 1,
+        eager_eviction: bool = True,
+    ) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.max_prefetch = max_prefetch
+        self.fallback_prefetch = fallback_prefetch
+        self._history: Deque[Tuple[int, int]] = deque(maxlen=window)
+        self.majority_found = 0
+        self.fallbacks = 0
+        #: Adaptive prefetch depth, grown on hits like Leap's controller.
+        self._depth = max_prefetch // 2 or 1
+        self._recent_hits = 0
+        self._recent_waste = 0
+        #: Leap's eager cache eviction: once the *next* prefetched page
+        #: is hit, the previous one has served its purpose and is
+        #: demoted to the cold end of the LRU for quick reclaim.
+        self.eager_eviction = eager_eviction
+        self._last_hit = None
+        self.eager_demotions = 0
+
+    def detect_stride(self) -> int:
+        """Majority stride over the fault-history window, or 0.
+
+        Strides are computed between consecutive faults *regardless of
+        PID or stream* — faithfully reproducing the aliasing problem.
+        """
+        if len(self._history) < self.window:
+            return 0
+        strides = []
+        entries = list(self._history)
+        for (prev_pid, prev_vpn), (pid, vpn) in zip(entries, entries[1:]):
+            if prev_pid == pid:
+                strides.append(vpn - prev_vpn)
+        if not strides:
+            return 0
+        stride, count = Counter(strides).most_common(1)[0]
+        if stride != 0 and count > len(entries) // 2:
+            return stride
+        return 0
+
+    def on_fault(self, pid, vpn, slot, now_us, machine) -> List[Tuple[int, int]]:
+        self._history.append((pid, vpn))
+        self._adapt()
+        stride = self.detect_stride()
+        if stride:
+            self.majority_found += 1
+            return [
+                (pid, vpn + k * stride)
+                for k in range(1, self._depth + 1)
+                if vpn + k * stride >= 0
+            ]
+        # No trend: Leap falls back to a tiny fixed read-ahead.
+        self.fallbacks += 1
+        return [
+            (pid, vpn + k)
+            for k in range(1, self.fallback_prefetch + 1)
+        ]
+
+    def _adapt(self) -> None:
+        total = self._recent_hits + self._recent_waste
+        if total < self._depth:
+            return
+        if self._recent_waste > self._recent_hits:
+            self._depth = max(1, self._depth // 2)
+        else:
+            self._depth = min(self.max_prefetch, self._depth * 2)
+        self._recent_hits = 0
+        self._recent_waste = 0
+
+    def on_prefetch_hit(self, pid: int, vpn: int, now_us: float, machine=None) -> None:
+        self._recent_hits += 1
+        if self.eager_eviction and machine is not None:
+            if self._last_hit is not None:
+                if machine.demote_page(*self._last_hit):
+                    self.eager_demotions += 1
+            self._last_hit = (pid, vpn)
+
+    def on_prefetch_wasted(self, pid: int, vpn: int) -> None:
+        self._recent_waste += 1

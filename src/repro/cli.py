@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                 show registered workloads and systems
+run                  run one workload under one system, print metrics
+compare              run one workload under several systems
+trace                capture a workload's HMTT trace to a file
+analyze              classify a trace's stream patterns
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.patterns import analyze_trace, page_sequence
+from repro.analysis.report import render_table
+from repro.net.rdma import FabricConfig
+from repro.sim import runner, systems
+from repro.trace.hmtt import HmttTracer
+from repro.trace.persist import load_trace, write_trace
+from repro.workloads import build as build_workload
+from repro.workloads import names as workload_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HoPP (HPCA 2023) trace-driven reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered workloads and systems")
+
+    def add_run_args(p):
+        p.add_argument("--workload", "-w", required=True)
+        p.add_argument("--fraction", "-f", type=float, default=0.5,
+                       help="local memory as a fraction of the footprint")
+        p.add_argument("--seed", type=int, default=1)
+
+    run_parser = sub.add_parser("run", help="run one workload/system pair")
+    add_run_args(run_parser)
+    run_parser.add_argument("--system", "-s", default="hopp")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the full result as JSON")
+
+    compare_parser = sub.add_parser("compare", help="compare systems")
+    add_run_args(compare_parser)
+    compare_parser.add_argument(
+        "--systems", default="fastswap,hopp",
+        help="comma-separated system names",
+    )
+
+    trace_parser = sub.add_parser("trace", help="capture an HMTT trace")
+    add_run_args(trace_parser)
+    trace_parser.add_argument("--system", "-s", default="noprefetch")
+    trace_parser.add_argument("--out", "-o", required=True)
+    trace_parser.add_argument("--limit", type=int, default=0,
+                              help="stop after N accesses (0 = all)")
+    # Default to all-local capture: without reclaim the frame allocator
+    # hands out contiguous PPNs, matching the paper's quiescent offline
+    # capture setup (physical streams stay streams).
+    trace_parser.set_defaults(fraction=4.0)
+
+    analyze_parser = sub.add_parser("analyze", help="classify stream patterns")
+    analyze_parser.add_argument("--trace", help="an HMTT trace file")
+    analyze_parser.add_argument("--workload", "-w", help="or a workload name")
+    analyze_parser.add_argument("--seed", type=int, default=1)
+
+    study_parser = sub.add_parser(
+        "study", help="offline prefetch study over an HMTT trace"
+    )
+    study_parser.add_argument("--trace", required=True)
+    study_parser.add_argument("--threshold", type=int, default=8,
+                              help="HPD hot threshold N")
+    study_parser.add_argument("--offset", type=int, default=4,
+                              help="prefetch offset i for the replay")
+    return parser
+
+
+def _cmd_list(_args) -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("systems:")
+    for name in systems.names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = build_workload(args.workload, seed=args.seed)
+    fabric = FabricConfig(seed=args.seed)
+    ct_local = runner.local_completion_time(workload, fabric)
+    result = runner.run(workload, args.system, args.fraction, fabric)
+    if args.json:
+        payload = result.to_dict()
+        payload["normalized_performance"] = result.normalized_performance(ct_local)
+        payload["ct_local_us"] = ct_local
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["completion time (us)", f"{result.completion_time_us:.1f}"],
+        ["normalized performance", f"{result.normalized_performance(ct_local):.3f}"],
+        ["accuracy", f"{result.accuracy:.3f}"],
+        ["coverage", f"{result.coverage:.3f}"],
+        ["page faults", result.page_faults],
+        ["demand remote reads", result.remote_demand_reads],
+        ["prefetch hits (dram/swapcache/inflight)",
+         f"{result.prefetch_hit_dram}/{result.prefetch_hit_swapcache}/"
+         f"{result.prefetch_hit_inflight}"],
+        ["prefetched pages wasted", result.prefetch_wasted],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.workload} on {args.system} "
+                             f"(local={args.fraction:.0%})"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = build_workload(args.workload, seed=args.seed)
+    fabric = FabricConfig(seed=args.seed)
+    names = [name.strip() for name in args.systems.split(",") if name.strip()]
+    comparison = runner.compare(workload, names, args.fraction, fabric)
+    rows = []
+    for name in names:
+        result = comparison.results[name]
+        rows.append(
+            [
+                name,
+                comparison.normalized_performance(name),
+                result.accuracy,
+                result.coverage,
+                result.page_faults,
+            ]
+        )
+    print(render_table(
+        ["system", "norm-perf", "accuracy", "coverage", "faults"],
+        rows,
+        title=f"{args.workload} (local={args.fraction:.0%}, "
+              f"CT_local={comparison.ct_local_us:.0f} us)",
+    ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    workload = build_workload(args.workload, seed=args.seed)
+    machine = runner.make_machine(
+        workload, args.system, args.fraction, FabricConfig(seed=args.seed)
+    )
+    tracer = HmttTracer()
+    tracer.attach(machine.controller)
+    trace = workload.trace()
+    if args.limit:
+        trace = itertools.islice(trace, args.limit)
+    machine.run(trace)
+    written = write_trace(args.out, tracer.ring.drain())
+    print(f"wrote {written} records to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if bool(args.trace) == bool(args.workload):
+        print("analyze needs exactly one of --trace or --workload",
+              file=sys.stderr)
+        return 2
+    if args.trace:
+        vpns = [record.ppn for record in load_trace(args.trace)]
+        # Collapse consecutive same-page records to page visits.
+        vpns = [v for i, v in enumerate(vpns) if i == 0 or v != vpns[i - 1]]
+        source = args.trace
+    else:
+        workload = build_workload(args.workload, seed=args.seed)
+        vpns = page_sequence(workload.trace())
+        source = args.workload
+    breakdown = analyze_trace(vpns)
+    rows = [
+        [label, breakdown.counts[label], f"{breakdown.fraction(label):.1%}"]
+        for label in ("simple", "ladder", "ripple", "irregular")
+    ]
+    print(render_table(["pattern", "windows", "share"], rows,
+                       title=f"stream patterns of {source}"))
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from repro.analysis.offline import replay_study
+
+    records = load_trace(args.trace)
+    study = replay_study(records, hpd_threshold=args.threshold,
+                         offset=args.offset)
+    rows = [
+        ["trace accesses", study.accesses],
+        ["hot pages", f"{study.hot_pages} ({study.hot_page_ratio:.2%})"],
+        ["stream observations", study.observations],
+        ["decisions by tier", str(study.decisions_by_tier)],
+        ["abstentions", study.no_decision],
+        ["predictions", study.predictions],
+        ["useful within lookahead", study.useful_predictions],
+        ["offline prediction accuracy", f"{study.prediction_accuracy:.3f}"],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"offline HoPP study of {args.trace}"))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
+    "study": _cmd_study,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Set-associative table with LRU replacement.
+
+This is the shared hardware primitive behind the LLC model, the HPD table
+(Section III-B) and the RPT cache (Section III-C).  Each set is an ordered
+dict from tag to payload; ordering encodes recency (last item = most
+recently used), which keeps every operation O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class SetAssociativeTable(Generic[V]):
+    """An ``nsets`` x ``nways`` LRU table keyed by an integer.
+
+    The set index is ``key % nsets`` by default, matching the paper's HPD
+    table which uses the lowest bits of the PPN as the set index; pass
+    ``index_fn`` to override.
+    """
+
+    def __init__(
+        self,
+        nsets: int,
+        nways: int,
+        index_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if nsets < 1 or nways < 1:
+            raise ValueError("nsets and nways must both be >= 1")
+        self.nsets = nsets
+        self.nways = nways
+        self._index_fn = index_fn or (lambda key: key % nsets)
+        self._sets: List["OrderedDict[int, V]"] = [OrderedDict() for _ in range(nsets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core operations ----------------------------------------------------
+
+    def set_index(self, key: int) -> int:
+        return self._index_fn(key)
+
+    def lookup(self, key: int, touch: bool = True) -> Optional[V]:
+        """Return the payload for ``key`` or None, updating hit/miss stats.
+
+        When ``touch`` is true a hit also refreshes the entry's recency.
+        """
+        target = self._sets[self._index_fn(key)]
+        if key in target:
+            self.hits += 1
+            if touch:
+                target.move_to_end(key)
+            return target[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: int) -> Optional[V]:
+        """Lookup without disturbing recency or statistics."""
+        return self._sets[self._index_fn(key)].get(key)
+
+    def insert(self, key: int, value: V) -> Optional[Tuple[int, V]]:
+        """Insert (or overwrite) ``key`` as most-recently-used.
+
+        Returns the evicted ``(key, value)`` pair if the set overflowed,
+        else None.
+        """
+        target = self._sets[self._index_fn(key)]
+        if key in target:
+            target[key] = value
+            target.move_to_end(key)
+            return None
+        victim = None
+        if len(target) >= self.nways:
+            victim = target.popitem(last=False)
+            self.evictions += 1
+        target[key] = value
+        return victim
+
+    def remove(self, key: int) -> Optional[V]:
+        return self._sets[self._index_fn(key)].pop(key, None)
+
+    def touch(self, key: int) -> bool:
+        """Refresh recency of ``key``; returns whether it was present."""
+        target = self._sets[self._index_fn(key)]
+        if key in target:
+            target.move_to_end(key)
+            return True
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sets[self._index_fn(key)]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __iter__(self) -> Iterator[Tuple[int, V]]:
+        for target in self._sets:
+            yield from target.items()
+
+    @property
+    def capacity(self) -> int:
+        return self.nsets * self.nways
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        for target in self._sets:
+            target.clear()
+        self.reset_stats()
+
+
+class LruDict(Generic[V]):
+    """A capacity-bounded LRU mapping (a 1-set associative table with a
+    friendlier mapping interface), used for fully-associative structures
+    such as the kernel's page LRU lists and the executor's dedup window."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Any, V]" = OrderedDict()
+
+    def get(self, key: Any, default: Optional[V] = None) -> Optional[V]:
+        if key in self._data:
+            self._data.move_to_end(key)
+            return self._data[key]
+        return default
+
+    def put(self, key: Any, value: V) -> Optional[Tuple[Any, V]]:
+        """Insert as MRU; returns the evicted pair when over capacity."""
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return None
+        victim = None
+        if len(self._data) >= self.capacity:
+            victim = self._data.popitem(last=False)
+        self._data[key] = value
+        return victim
+
+    def pop(self, key: Any, default: Optional[V] = None) -> Optional[V]:
+        return self._data.pop(key, default)
+
+    def lru_key(self) -> Any:
+        """The least-recently-used key, or None when empty."""
+        return next(iter(self._data), None)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)

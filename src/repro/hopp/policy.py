@@ -1,0 +1,130 @@
+"""Prefetch Policy Engine — Section III-E.
+
+Two knobs tune aggressiveness and timeliness per stream:
+
+* **intensity** — pages prefetched per hot page received.  One page
+  matches the stream's memory access rate; more than one compensates for
+  a congested fabric.
+* **offset** (``i``) — how far ahead along the identified pattern to
+  prefetch.  HoPP measures T, the time a prefetched page sits in local
+  memory before its first hit, and keeps it inside [T_min, T_max]:
+  T < T_min means the page nearly arrived late, so prefetch further
+  (i *= 1 + alpha); T > T_max wastes local memory, so prefetch closer
+  (i *= 1 - alpha).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.constants import (
+    POLICY_ALPHA,
+    POLICY_DEFAULT_INTENSITY,
+    POLICY_OFFSET_MAX,
+    POLICY_T_MAX_US,
+    POLICY_T_MIN_US,
+)
+from repro.common.types import PrefetchDecision, PrefetchRequest, StreamObservation
+
+
+@dataclass
+class PolicyConfig:
+    intensity: int = POLICY_DEFAULT_INTENSITY
+    alpha: float = POLICY_ALPHA
+    initial_offset: float = 1.0
+    offset_max: float = POLICY_OFFSET_MAX
+    t_min_us: float = POLICY_T_MIN_US
+    t_max_us: float = POLICY_T_MAX_US
+    #: When False the offset never adapts (the fixed-offset arms of
+    #: Figure 22).
+    adaptive: bool = True
+
+
+class PolicyEngine:
+    """Finalizes *what* to fetch and *when* (how far ahead)."""
+
+    def __init__(self, config: PolicyConfig = None) -> None:
+        self.config = config or PolicyConfig()
+        if self.config.intensity < 1:
+            raise ValueError("intensity must be >= 1")
+        #: Per-stream adaptive offset (float internally; applied rounded).
+        self._offsets: Dict[int, float] = {}
+        #: When each stream's offset was last adjusted: further reports
+        #: only count once they reflect prefetches issued *after* the
+        #: adjustment (the control loop's feedback delay).
+        self._adjusted_at: Dict[int, float] = {}
+        self.requests_out = 0
+        self.offset_increases = 0
+        self.offset_decreases = 0
+
+    # -- request finalization -----------------------------------------------------
+
+    def offset_of(self, stream_id: int) -> float:
+        return self._offsets.get(stream_id, self.config.initial_offset)
+
+    def finalize(
+        self,
+        decision: PrefetchDecision,
+        observation: StreamObservation,
+        now_us: float,
+    ) -> List[PrefetchRequest]:
+        """Apply offset + intensity to a tier decision.
+
+        Emits ``intensity`` consecutive targets starting at the stream's
+        current offset.  Targets with negative VPNs (streams walking down
+        past zero) are dropped.
+        """
+        base_offset = max(1, round(self.offset_of(observation.stream_id)))
+        requests: List[PrefetchRequest] = []
+        for extra in range(self.config.intensity):
+            vpn = decision.target_vpn(base_offset + extra)
+            if vpn < 0:
+                continue
+            requests.append(
+                PrefetchRequest(
+                    pid=observation.pid,
+                    vpn=vpn,
+                    tier=decision.tier,
+                    issued_at_us=now_us,
+                    stream_id=observation.stream_id,
+                )
+            )
+        self.requests_out += len(requests)
+        return requests
+
+    # -- timeliness feedback (from the execution engine) ----------------------------
+
+    def report_timeliness(
+        self,
+        stream_id: int,
+        t_us: float,
+        issued_us: float = 0.0,
+        now_us: Optional[float] = None,
+    ) -> None:
+        """Adjust the stream's offset from one measured T.
+
+        An adjustment only takes effect for prefetches issued after the
+        previous adjustment (``issued_us`` gate) — without this the ramp
+        keeps multiplying before its own effect is observable and
+        overshoots wildly past the end of the stream.
+        """
+        if not self.config.adaptive:
+            return
+        if issued_us < self._adjusted_at.get(stream_id, -1.0):
+            return
+        current = self.offset_of(stream_id)
+        if t_us < self.config.t_min_us:
+            current *= 1.0 + self.config.alpha
+            self.offset_increases += 1
+        elif t_us > self.config.t_max_us:
+            current *= 1.0 - self.config.alpha
+            self.offset_decreases += 1
+        else:
+            return
+        self._offsets[stream_id] = min(max(current, 1.0), self.config.offset_max)
+        self._adjusted_at[stream_id] = now_us if now_us is not None else issued_us
+
+    def forget_stream(self, stream_id: int) -> None:
+        self._offsets.pop(stream_id, None)
+        self._adjusted_at.pop(stream_id, None)

@@ -1,0 +1,97 @@
+"""The Section V prototype emulation: hot page detection in *software*.
+
+The paper's testbed cannot modify a real memory controller, so HMTT
+snoops the DIMM bus and DMA-writes the full trace into a reserved DRAM
+area; a *dedicated CPU core* then runs the HPD in software over that
+ring ("HPD reads traces from that reserved area in DRAM 1 to detect hot
+pages... it takes up an additional CPU core").
+
+:class:`PrototypeDataPlane` reproduces that arrangement: MC accesses are
+enqueued as raw records, and the pipeline consumes them at a bounded
+rate (records per microsecond of virtual time — the software core's
+throughput).  Two effects distinguish it from the in-MC design:
+
+* **lag** — hot pages are discovered a little after the accesses that
+  made them hot, so prefetches trail the app slightly more;
+* **loss** — if the application out-runs the consumer, the ring
+  overflows and trace records are dropped, costing coverage.
+
+At realistic consumption rates the prototype matches the design —
+which is the paper's implicit claim ("the rest of the prototype
+implementation follows the design"), and what the A8 ablation checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.hopp.system import HoppConfig, HoppDataPlane
+
+
+class PrototypeDataPlane(HoppDataPlane):
+    """HoPP with Section V's software trace consumer in front.
+
+    ``consume_rate_per_us`` — records the dedicated core can process
+    per microsecond of application time (default 100 ≈ one record per
+    10 ns, a comfortable software rate).
+    ``ring_capacity`` — the reserved DRAM trace area, in records.
+    """
+
+    def __init__(
+        self,
+        backend,
+        config: Optional[HoppConfig] = None,
+        consume_rate_per_us: float = 100.0,
+        ring_capacity: int = 1 << 16,
+    ) -> None:
+        super().__init__(backend, config)
+        if consume_rate_per_us <= 0:
+            raise ValueError("consume_rate_per_us must be > 0")
+        self.consume_rate_per_us = consume_rate_per_us
+        self.ring_capacity = ring_capacity
+        self._ring: Deque[Tuple[float, int, bool]] = deque()
+        self._last_drain_us = 0.0
+        self._budget = 0.0
+        self.records_enqueued = 0
+        self.records_dropped = 0
+        self.records_consumed = 0
+
+    # -- the MC tap now only enqueues ------------------------------------------
+
+    def on_mc_access(self, timestamp_us: float, paddr: int, is_write: bool) -> None:
+        self.records_enqueued += 1
+        if len(self._ring) >= self.ring_capacity:
+            # The consumer fell behind: HMTT overwrites the oldest
+            # records in the reserved area.
+            self._ring.popleft()
+            self.records_dropped += 1
+        self._ring.append((timestamp_us, paddr, is_write))
+        self._drain(timestamp_us)
+
+    def _drain(self, now_us: float) -> None:
+        """Consume what the software core managed since the last call."""
+        elapsed = max(now_us - self._last_drain_us, 0.0)
+        self._last_drain_us = now_us
+        self._budget = min(
+            self._budget + elapsed * self.consume_rate_per_us,
+            float(self.ring_capacity),
+        )
+        while self._ring and self._budget >= 1.0:
+            self._budget -= 1.0
+            _, paddr, is_write = self._ring.popleft()
+            self.records_consumed += 1
+            # The consumer acts at *its* time, i.e. now.
+            super().on_mc_access(now_us, paddr, is_write)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._ring)
+
+    @property
+    def drop_rate(self) -> float:
+        return (
+            self.records_dropped / self.records_enqueued
+            if self.records_enqueued
+            else 0.0
+        )

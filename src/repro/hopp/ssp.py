@@ -1,0 +1,42 @@
+"""Simple-Stream-based Prefetch (SSP) — Section III-D(2).
+
+A stride is *dominant* when it occurs at least L/2 times in the stream's
+stride history; the prefetch target is ``VPN_history[L-1] + i * stride``
+where ``i`` is the policy engine's prefetch offset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.common.types import PrefetchDecision, StreamObservation
+
+TIER_NAME = "ssp"
+
+
+def dominant_stride(strides, min_count: int) -> Optional[int]:
+    """The most frequent stride if it reaches ``min_count``, else None.
+
+    Zero strides never dominate: a self-stride carries no direction.
+    """
+    if not strides:
+        return None
+    counts = Counter(s for s in strides if s != 0)
+    if not counts:
+        return None
+    stride, count = counts.most_common(1)[0]
+    return stride if count >= min_count else None
+
+
+def train(observation: StreamObservation) -> Optional[PrefetchDecision]:
+    """Identify a simple stream; None hands over to LSP."""
+    history_len = len(observation.vpn_history)
+    stride = dominant_stride(observation.stride_history, min_count=history_len // 2)
+    if stride is None:
+        return None
+    return PrefetchDecision(
+        tier=TIER_NAME,
+        base_vpn=observation.vpn_history[-1],
+        per_offset_stride=stride,
+    )

@@ -1,0 +1,129 @@
+"""Stream Training Table (STT) — Section III-D, Figure 7.
+
+64 LRU-managed entries, each a potential page stream for one PID.  An
+entry keeps the last L VPNs received (``VPN_history``) and the L-1
+derived strides.  A new hot page joins a stream when the PID matches and
+its VPN is within Delta_stream pages of the stream's most recent VPN
+(the pages-clustering technique of Section II-B); otherwise a new entry
+is allocated, evicting the LRU one.
+
+Once an entry's history is full, every further hot page appended to it
+yields a :class:`StreamObservation` for the tier algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.constants import STT_ENTRIES, STT_HISTORY_LEN, STT_STREAM_DELTA
+from repro.common.types import StreamObservation
+
+
+@dataclass
+class SttEntry:
+    stream_id: int
+    pid: int
+    vpns: Deque[int]
+    #: Strides between consecutive VPNs; len == len(vpns) - 1.
+    strides: Deque[int]
+
+    @property
+    def last_vpn(self) -> int:
+        return self.vpns[-1]
+
+
+class StreamTrainingTable:
+    def __init__(
+        self,
+        entries: int = STT_ENTRIES,
+        history_len: int = STT_HISTORY_LEN,
+        stream_delta: int = STT_STREAM_DELTA,
+    ) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        if history_len < 4:
+            raise ValueError("history_len must be >= 4 for LSP/RSP to work")
+        self.capacity = entries
+        self.history_len = history_len
+        self.stream_delta = stream_delta
+        #: stream_id -> entry; ordering encodes recency (last = MRU).
+        self._entries: "OrderedDict[int, SttEntry]" = OrderedDict()
+        self._next_stream_id = 0
+        self.hot_pages_in = 0
+        self.duplicates_dropped = 0
+        self.observations_out = 0
+        self.streams_created = 0
+        self.streams_evicted = 0
+
+    # -- feeding hot pages ---------------------------------------------------------
+
+    def feed(self, pid: int, vpn: int, now_us: float = 0.0) -> Optional[StreamObservation]:
+        """Insert one hot page; returns an observation when the matched
+        stream's history is full (training can run), else None."""
+        self.hot_pages_in += 1
+        entry = self._match(pid, vpn)
+        if entry is None:
+            self._allocate(pid, vpn)
+            return None
+        if vpn == entry.last_vpn:
+            # Repeated extraction of the same page (multi-channel dedup,
+            # Section III-B) — no new information.
+            self.duplicates_dropped += 1
+            self._entries.move_to_end(entry.stream_id)
+            return None
+        stride = vpn - entry.last_vpn
+        entry.vpns.append(vpn)
+        entry.strides.append(stride)
+        self._entries.move_to_end(entry.stream_id)
+        if len(entry.vpns) < self.history_len:
+            return None
+        self.observations_out += 1
+        return StreamObservation(
+            pid=pid,
+            vpn=vpn,
+            stride=stride,
+            vpn_history=tuple(entry.vpns),
+            stride_history=tuple(entry.strides),
+            stream_id=entry.stream_id,
+            timestamp_us=now_us,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _match(self, pid: int, vpn: int) -> Optional[SttEntry]:
+        """Closest stream with the same PID within Delta_stream pages."""
+        best: Optional[SttEntry] = None
+        best_distance = self.stream_delta + 1
+        for entry in self._entries.values():
+            if entry.pid != pid:
+                continue
+            distance = abs(vpn - entry.last_vpn)
+            if distance <= self.stream_delta and distance < best_distance:
+                best = entry
+                best_distance = distance
+        return best
+
+    def _allocate(self, pid: int, vpn: int) -> SttEntry:
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.streams_evicted += 1
+        entry = SttEntry(
+            stream_id=self._next_stream_id,
+            pid=pid,
+            vpns=deque([vpn], maxlen=self.history_len),
+            strides=deque(maxlen=self.history_len - 1),
+        )
+        self._next_stream_id += 1
+        self.streams_created += 1
+        self._entries[entry.stream_id] = entry
+        return entry
+
+    # -- introspection ------------------------------------------------------------------
+
+    def streams(self) -> List[SttEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,164 @@
+"""The assembled HoPP data plane — Figure 4.
+
+Wires the pipeline end to end:
+
+  MC access -> HPD (hot page?) -> RPT cache (PPN -> PID+VPN)
+            -> STT (stream match) -> three-tier trainer -> policy engine
+            -> execution engine -> RDMA read + early PTE injection.
+
+The data plane is *asynchronous* with respect to the application's fault
+path: it consumes the MC trace and issues prefetches on its own, which is
+what lets HoPP hide swap latency instead of amortizing it (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hopp.executor import ExecutionEngine, PrefetchBackend
+from repro.hopp.hpd import HotPageDetector
+from repro.hopp.policy import PolicyConfig, PolicyEngine
+from repro.hopp.rpt import ReversePageTable, RptCache, RptMaintainer
+from repro.hopp.stt import StreamTrainingTable
+from repro.hopp.three_tier import ThreeTierTrainer, TierConfig
+
+
+@dataclass
+class HoppConfig:
+    """Every knob of the HoPP stack with the paper's defaults."""
+
+    hpd_threshold: int = 8
+    hpd_sets: int = 4
+    hpd_ways: int = 16
+    #: Memory channels feeding separate HPD instances (Section III-B's
+    #: multi-channel discussion); with interleaving the per-channel
+    #: threshold drops to N / channels.
+    mc_channels: int = 1
+    mc_interleaved: bool = True
+    rpt_cache_kb: int = 64
+    rpt_cache_ways: int = 16
+    stt_entries: int = 64
+    stt_history_len: int = 16
+    stt_stream_delta: int = 64
+    tiers: TierConfig = field(default_factory=TierConfig)
+    #: Training framework: "three-tier" (the paper's adaptive cascade)
+    #: or "learned" (the Section III-D ML-style alternative).
+    trainer: str = "three-tier"
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    #: Early PTE injection (Section III-F); off -> prefetches land in the
+    #: swapcache like Fastswap's.
+    inject_pte: bool = True
+    #: Section IV huge-page extension: long unit-stride streams graduate
+    #: to one 512-page batch request per 2 MB region.
+    hugepage_enabled: bool = False
+    hugepage_stream_len: int = 128
+    hugepage_batch_pages: int = 512
+    #: Section IV eviction extension: hint stream-behind pages to the
+    #: kernel's reclaim as preferred victims (scan-resistant LRU).
+    eviction_advisor_enabled: bool = False
+    eviction_protect_pages: int = 64
+
+
+class HoppDataPlane:
+    """One instance per compute node; tap it onto the memory controller."""
+
+    def __init__(self, backend: PrefetchBackend, config: Optional[HoppConfig] = None) -> None:
+        self.config = config or HoppConfig()
+        cfg = self.config
+        if cfg.mc_channels > 1:
+            from repro.hopp.hpd import MultiChannelHpd
+
+            self.hpd = MultiChannelHpd(
+                cfg.mc_channels,
+                cfg.hpd_threshold,
+                cfg.mc_interleaved,
+                cfg.hpd_sets,
+                cfg.hpd_ways,
+            )
+        else:
+            self.hpd = HotPageDetector(cfg.hpd_threshold, cfg.hpd_sets, cfg.hpd_ways)
+        self.rpt = ReversePageTable()
+        self.rpt_cache = RptCache(self.rpt, cfg.rpt_cache_kb, cfg.rpt_cache_ways)
+        self.maintainer = RptMaintainer(self.rpt_cache)
+        self.stt = StreamTrainingTable(
+            cfg.stt_entries, cfg.stt_history_len, cfg.stt_stream_delta
+        )
+        if cfg.trainer == "three-tier":
+            self.trainer = ThreeTierTrainer(cfg.tiers)
+        elif cfg.trainer == "learned":
+            from repro.hopp.learned import LearnedTrainer
+
+            self.trainer = LearnedTrainer()
+        else:
+            raise ValueError(
+                f"unknown trainer {cfg.trainer!r}; use 'three-tier' or 'learned'"
+            )
+        self.policy = PolicyEngine(cfg.policy)
+        self.executor = ExecutionEngine(
+            backend, policy=self.policy, inject_pte=cfg.inject_pte
+        )
+        self.batcher = None
+        if cfg.hugepage_enabled:
+            from repro.hopp.hugepage import HugePageBatcher
+
+            self.batcher = HugePageBatcher(
+                backend,
+                stream_len=cfg.hugepage_stream_len,
+                batch_pages=cfg.hugepage_batch_pages,
+            )
+        self.advisor = None
+        if cfg.eviction_advisor_enabled:
+            from repro.hopp.eviction import StreamAwareEvictionAdvisor
+
+            self.advisor = StreamAwareEvictionAdvisor(
+                protect_pages=cfg.eviction_protect_pages
+            )
+        self.hot_pages_unresolved = 0
+
+    # -- the MC tap (step 1-4 of Figure 4) -------------------------------------------
+
+    def on_mc_access(self, timestamp_us: float, paddr: int, is_write: bool) -> None:
+        hot_ppn = self.hpd.process(paddr, is_write)
+        if hot_ppn is None:
+            return
+        entry = self.rpt_cache.lookup(hot_ppn)
+        if entry is None:
+            # Frame not mapped by any process (kernel/DMA memory).
+            self.hot_pages_unresolved += 1
+            return
+        observation = self.stt.feed(entry.pid, entry.vpn, timestamp_us)
+        if observation is None:
+            return
+        decision = self.trainer.train(observation)
+        if decision is None:
+            return
+        if self.advisor is not None:
+            self.advisor.on_stream_step(
+                observation.pid, observation.vpn, decision.per_offset_stride
+            )
+        if self.batcher is not None and decision.tier == "ssp":
+            absorbed = self.batcher.observe(
+                observation.stream_id,
+                observation.pid,
+                observation.vpn,
+                decision.per_offset_stride,
+                timestamp_us,
+            )
+            if absorbed:
+                # The stream rides 2 MB batches now; skip the
+                # single-page request for this step.
+                return
+        requests = self.policy.finalize(decision, observation, timestamp_us)
+        if requests:
+            self.executor.submit(requests, timestamp_us)
+
+    # -- fault-path visibility ----------------------------------------------------------
+
+    def on_page_mapped(self, pid: int, vpn: int, now_us: float) -> None:
+        """Machine callback when any page becomes PRESENT; the executor
+        uses it to close prefetch records on their first hit."""
+        self.executor.on_first_hit(pid, vpn, now_us)
+
+    def on_page_evicted(self, pid: int, vpn: int) -> None:
+        self.executor.on_evicted_unused(pid, vpn)

@@ -1,0 +1,58 @@
+"""Adaptive Three-Tier Prefetching — Section III-D.
+
+Tiers run in fixed priority order: SSP first (simple streams cover the
+majority of patterns and are cheapest to identify), then LSP for ladder
+streams, then RSP as the last resort for ripples.  Each tier can be
+toggled off, which is how the Figure 18-20 tier-contribution study and
+the revamped-majority baseline are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.types import PrefetchDecision, StreamObservation
+from repro.hopp import lsp, rsp, ssp
+
+
+@dataclass
+class TierConfig:
+    enable_ssp: bool = True
+    enable_lsp: bool = True
+    enable_rsp: bool = True
+
+    @classmethod
+    def only(cls, *tiers: str) -> "TierConfig":
+        names = set(tiers)
+        unknown = names - {"ssp", "lsp", "rsp"}
+        if unknown:
+            raise ValueError(f"unknown tiers: {sorted(unknown)}")
+        return cls(
+            enable_ssp="ssp" in names,
+            enable_lsp="lsp" in names,
+            enable_rsp="rsp" in names,
+        )
+
+
+class ThreeTierTrainer:
+    """Applies the tier cascade to one stream observation."""
+
+    def __init__(self, config: Optional[TierConfig] = None) -> None:
+        self.config = config or TierConfig()
+        self.decisions_by_tier: Dict[str, int] = {"ssp": 0, "lsp": 0, "rsp": 0}
+        self.no_decision = 0
+
+    def train(self, observation: StreamObservation) -> Optional[PrefetchDecision]:
+        decision: Optional[PrefetchDecision] = None
+        if self.config.enable_ssp:
+            decision = ssp.train(observation)
+        if decision is None and self.config.enable_lsp:
+            decision = lsp.train(observation)
+        if decision is None and self.config.enable_rsp:
+            decision = rsp.train(observation)
+        if decision is None:
+            self.no_decision += 1
+        else:
+            self.decisions_by_tier[decision.tier] += 1
+        return decision

@@ -1,0 +1,103 @@
+"""Swap-slot space and swapcache.
+
+Swap slots are allocated in eviction order, which is the property
+Fastswap's read-ahead depends on: it prefetches pages *adjacent in swap
+offset*, i.e., pages that happened to be reclaimed together — not pages
+adjacent in the virtual address space (Section VI-E contrasts this with
+VMA-based read-ahead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class SwapSpace:
+    """Monotonic slot allocator with a slot -> (pid, vpn) reverse map."""
+
+    def __init__(self) -> None:
+        self._next_slot = 0
+        self._slot_to_page: Dict[int, Tuple[int, int]] = {}
+        self._page_to_slot: Dict[Tuple[int, int], int] = {}
+
+    def allocate(self, pid: int, vpn: int) -> int:
+        """Assign the next slot to (pid, vpn); re-evicting a page gets a
+        fresh slot, just like Linux after the old one was faulted back."""
+        old = self._page_to_slot.pop((pid, vpn), None)
+        if old is not None:
+            self._slot_to_page.pop(old, None)
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slot_to_page[slot] = (pid, vpn)
+        self._page_to_slot[(pid, vpn)] = slot
+        return slot
+
+    def free(self, slot: int) -> None:
+        page = self._slot_to_page.pop(slot, None)
+        if page is not None:
+            self._page_to_slot.pop(page, None)
+
+    def page_at(self, slot: int) -> Optional[Tuple[int, int]]:
+        return self._slot_to_page.get(slot)
+
+    def slot_of(self, pid: int, vpn: int) -> Optional[int]:
+        return self._page_to_slot.get((pid, vpn))
+
+    def neighbors(self, slot: int, before: int, after: int) -> List[Tuple[int, int]]:
+        """Live pages in slots [slot-before, slot+after], excluding
+        ``slot`` itself — the read-ahead window."""
+        out: List[Tuple[int, int]] = []
+        for candidate in range(slot - before, slot + after + 1):
+            if candidate == slot:
+                continue
+            page = self._slot_to_page.get(candidate)
+            if page is not None:
+                out.append(page)
+        return out
+
+    @property
+    def slots_in_use(self) -> int:
+        return len(self._slot_to_page)
+
+
+class SwapCache:
+    """Pages resident in local DRAM but not mapped into any page table.
+
+    A fault on one of these is a *prefetch-hit*: it still pays the
+    synchronous fault cost (2.3 us) but skips the network (Section II-C).
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[Tuple[int, int], float] = {}
+        self.inserts = 0
+        self.hits = 0
+        self.drops = 0
+
+    def insert(self, pid: int, vpn: int, arrival_us: float) -> None:
+        self._pages[(pid, vpn)] = arrival_us
+        self.inserts += 1
+
+    def lookup(self, pid: int, vpn: int) -> Optional[float]:
+        """Arrival time when present (the page stays cached; the fault
+        handler removes it when mapping)."""
+        return self._pages.get((pid, vpn))
+
+    def take(self, pid: int, vpn: int) -> Optional[float]:
+        """Remove and return the arrival time (fault-path mapping)."""
+        arrival = self._pages.pop((pid, vpn), None)
+        if arrival is not None:
+            self.hits += 1
+        return arrival
+
+    def drop(self, pid: int, vpn: int) -> bool:
+        """Reclaim an unused swapcache page (it was clean by definition)."""
+        if self._pages.pop((pid, vpn), None) is not None:
+            self.drops += 1
+            return True
+        return False
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

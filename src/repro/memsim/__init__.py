@@ -1,0 +1,14 @@
+"""Memory-hierarchy substrate: caches, hierarchy, memory controller."""
+
+from repro.memsim.cache import Cache, CacheAccessResult, CacheHierarchy
+from repro.memsim.controller import MemoryController
+from repro.memsim.tlb import Tlb, TlbStats
+
+__all__ = [
+    "Cache",
+    "CacheAccessResult",
+    "CacheHierarchy",
+    "MemoryController",
+    "Tlb",
+    "TlbStats",
+]

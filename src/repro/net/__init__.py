@@ -1,0 +1,6 @@
+"""RDMA fabric and remote memory node models."""
+
+from repro.net.rdma import FabricConfig, RdmaFabric
+from repro.net.remote import RemoteMemoryNode, RemoteReadError
+
+__all__ = ["FabricConfig", "RdmaFabric", "RemoteMemoryNode", "RemoteReadError"]

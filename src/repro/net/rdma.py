@@ -1,0 +1,127 @@
+"""RDMA fabric model.
+
+Substitutes the paper's 56 Gbps Infiniband testbed with a latency and
+bandwidth model.  The base 4 KB transfer takes ~4 us (Section II-A step 4);
+on top of that we model the two effects HoPP's policy engine exists to
+absorb (Section III-E): *volatility* (jitter in network and remote-node
+service time) and *congestion* (queueing when outstanding transfers exceed
+the link's service rate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.constants import PAGE_SIZE, T_RDMA_PAGE_US
+from repro.common.stats import RunningStat
+
+
+@dataclass
+class FabricConfig:
+    """Knobs of the fabric model.
+
+    ``base_latency_us``    one uncontended 4 KB READ.
+    ``jitter_us``          uniform [0, jitter] extra latency per transfer.
+    ``spike_probability``  chance of a latency spike (incast, remote CPU
+                           stall) multiplying the base by ``spike_factor``.
+    ``gbps``               link bandwidth; queueing delay builds when the
+                           instantaneous offered load exceeds it.
+    """
+
+    base_latency_us: float = T_RDMA_PAGE_US
+    jitter_us: float = 0.8
+    spike_probability: float = 0.01
+    spike_factor: float = 5.0
+    gbps: float = 56.0
+    seed: int = 1
+
+
+class RdmaFabric:
+    """Issues page-sized READs/WRITEs and returns their completion time.
+
+    The fabric is work-conserving with a single FIFO service queue: each
+    page occupies the link for ``page_service_us`` and a transfer issued
+    while the link is busy queues behind earlier ones.  Latency =
+    propagation (base + jitter + spikes) + queueing.
+    """
+
+    def __init__(self, config: Optional[FabricConfig] = None) -> None:
+        self.config = config or FabricConfig()
+        self._rng = random.Random(self.config.seed)
+        # Time the link becomes free for the next bulk transfer.
+        self._link_free_at_us = 0.0
+        # Separate service cursor for priority (demand-fault) reads:
+        # they ride their own QP and do not queue behind prefetch
+        # bursts, like the separate data paths of Section III.
+        self._prio_free_at_us = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.latency_stat = RunningStat()
+
+    @property
+    def page_service_us(self) -> float:
+        """Link occupancy of one 4 KB page at the configured bandwidth."""
+        bits = PAGE_SIZE * 8
+        return bits / (self.config.gbps * 1e3)  # Gbps -> bits/us
+
+    def _propagation_us(self) -> float:
+        cfg = self.config
+        latency = cfg.base_latency_us + self._rng.uniform(0.0, cfg.jitter_us)
+        if cfg.spike_probability and self._rng.random() < cfg.spike_probability:
+            latency *= cfg.spike_factor
+        return latency
+
+    def read_page(self, now_us: float, priority: bool = False) -> float:
+        """Issue a 4 KB READ at ``now_us``; returns its completion time.
+
+        ``priority`` marks demand-fault reads, which use their own queue
+        pair and therefore only contend with other demand reads.
+        """
+        self.reads += 1
+        return self._transfer(now_us, priority)
+
+    def read_batch(self, now_us: float, npages: int):
+        """One scatter-gather READ of ``npages`` consecutive pages (the
+        Section IV huge-page batch): a single propagation delay, then
+        pages stream back-to-back at link rate.  Returns the list of
+        per-page arrival times (the i-th page lands once its bytes have
+        crossed the link)."""
+        if npages < 1:
+            raise ValueError("npages must be >= 1")
+        self.reads += npages
+        start = max(now_us, self._link_free_at_us)
+        self._link_free_at_us = start + npages * self.page_service_us
+        first_byte = start + self._propagation_us()
+        arrivals = [
+            first_byte + (i + 1) * self.page_service_us for i in range(npages)
+        ]
+        self.latency_stat.add(arrivals[-1] - now_us)
+        return arrivals
+
+    def write_page(self, now_us: float) -> float:
+        """Issue a 4 KB WRITE (reclaim writeback); returns completion."""
+        self.writes += 1
+        return self._transfer(now_us, priority=False)
+
+    def _transfer(self, now_us: float, priority: bool) -> float:
+        if priority:
+            start = max(now_us, self._prio_free_at_us)
+            self._prio_free_at_us = start + self.page_service_us
+            # The link is shared: bulk traffic sees priority occupancy.
+            self._link_free_at_us = max(self._link_free_at_us, self._prio_free_at_us)
+        else:
+            start = max(now_us, self._link_free_at_us)
+            self._link_free_at_us = start + self.page_service_us
+        done = start + self._propagation_us()
+        self.latency_stat.add(done - now_us)
+        return done
+
+    @property
+    def transfers(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.transfers * PAGE_SIZE

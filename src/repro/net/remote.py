@@ -1,0 +1,53 @@
+"""Remote memory node: the far side of the disaggregated pool.
+
+The paper's memory node is a passive RDMA target (6 x 8 GB DRAM); here it
+is a capacity-bounded page store keyed by swap slot.  Reads of a slot that
+was never written raise — a real one-sided RDMA READ of an unwritten
+region would return garbage, and in the simulator that is always a bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+
+class RemoteReadError(KeyError):
+    """READ of a slot that holds no page."""
+
+
+class RemoteMemoryNode:
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        self.capacity_pages = capacity_pages
+        self._slots: Dict[int, Tuple[int, int]] = {}
+        self.pages_written = 0
+        self.pages_read = 0
+
+    def write(self, slot: int, pid: int, vpn: int) -> None:
+        """Store page (pid, vpn) at ``slot`` (reclaim writeback)."""
+        if slot not in self._slots and len(self._slots) >= self.capacity_pages:
+            raise MemoryError(
+                f"remote node full ({self.capacity_pages} pages)"
+            )
+        self._slots[slot] = (pid, vpn)
+        self.pages_written += 1
+
+    def read(self, slot: int) -> Tuple[int, int]:
+        """Fetch the page at ``slot`` (demand fault or prefetch)."""
+        page = self._slots.get(slot)
+        if page is None:
+            raise RemoteReadError(f"slot {slot} holds no page")
+        self.pages_read += 1
+        return page
+
+    def release(self, slot: int) -> None:
+        """Free a slot once its page was faulted back and re-dirtied."""
+        self._slots.pop(slot, None)
+
+    def holds(self, slot: int) -> bool:
+        return slot in self._slots
+
+    @property
+    def pages_stored(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,520 @@
+"""The compute-node machine model: ties the cache/MC substrate, the
+kernel VMS, the RDMA fabric, a fault-time prefetcher (the baselines) and
+optionally the HoPP data plane into one trace-driven simulator.
+
+The input is the LLC-miss reference stream (cacheline-granular virtual
+addresses per PID).  Virtual time advances only by critical-path costs;
+reclaim and prefetch transfers proceed asynchronously, interacting with
+the application through the shared fabric queue and the LRU lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import FaultTimePrefetcher
+from repro.common.constants import (
+    BLOCK_SHIFT,
+    PAGE_SHIFT,
+    T_CONTEXT_SWITCH_US,
+    T_DRAM_HIT_US,
+    T_PREFETCH_HIT_US,
+    T_PREFETCH_ISSUE_US,
+    T_PTE_SET_US,
+    T_PTE_WALK_US,
+    T_RECLAIM_CRITICAL_RESIDUE_US,
+    T_SWAPCACHE_OP_US,
+)
+from repro.common.types import FaultBreakdown
+from repro.hopp.system import HoppDataPlane
+from repro.kernel.cgroup import CgroupManager, MemoryCgroup
+from repro.kernel.frames import FrameAllocator
+from repro.kernel.page_table import PageTable, Pte, PteState
+from repro.kernel.reclaim import LruPageList, Reclaimer
+from repro.kernel.swap import SwapCache, SwapSpace
+from repro.kernel.vma import VmaRegistry
+from repro.memsim.controller import MemoryController
+from repro.net.rdma import FabricConfig, RdmaFabric
+from repro.net.remote import RemoteMemoryNode
+
+PAGE_OFFSET_MASK = (1 << PAGE_SHIFT) - 1
+
+
+@dataclass
+class MachineConfig:
+    """Compute-node parameters.
+
+    ``local_memory_pages`` is the default cgroup limit (the paper's
+    "local memory is set to X% of the workload footprint").
+    """
+
+    local_memory_pages: int
+    remote_capacity_pages: int = 1 << 22
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    reclaim_batch: int = 32
+    watermark_slack: int = 16
+    minor_fault_cost_us: float = 1.9
+    #: Charge prefetched pages to the application's cgroup.  HoPP does;
+    #: Fastswap and Leap do not (Section I).
+    charge_prefetch: bool = True
+    mc_channels: int = 1
+    #: Application compute time per LLC-miss access (us), taken from the
+    #: workload; it sets how much memory latency overlaps with work.
+    compute_us_per_access: float = 0.0
+
+
+class Machine:
+    """One compute node plus its remote memory pool."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        fault_prefetcher: Optional[FaultTimePrefetcher] = None,
+        hopp: Optional[HoppDataPlane] = None,
+    ) -> None:
+        self.config = config
+        self.fault_prefetcher = fault_prefetcher
+        self.hopp = hopp
+        self.now_us = 0.0
+
+        self.fabric = RdmaFabric(config.fabric)
+        self.remote = RemoteMemoryNode(config.remote_capacity_pages)
+        self.frames = FrameAllocator(total_frames=1 << 24)
+        self.swap_space = SwapSpace()
+        self.swapcache = SwapCache()
+        self.cgroups = CgroupManager()
+        self.reclaimer = Reclaimer(config.reclaim_batch, config.watermark_slack)
+        self.vmas = VmaRegistry()
+        self.controller = MemoryController(channels=config.mc_channels)
+
+        self._page_tables: Dict[int, PageTable] = {}
+        self._cgroup_of: Dict[int, MemoryCgroup] = {}
+        self._lru_of: Dict[str, LruPageList] = {}
+        #: Physical pages resident per cgroup, *including* uncharged
+        #: prefetch pages and in-flight fetches: the cgroup's limit
+        #: bounds the DRAM the app's pages can occupy regardless of the
+        #: accounting policy (frames are physical either way).
+        self._resident: Dict[str, int] = {}
+        #: Pending prefetch arrivals: (arrival_us, seq, pid, vpn).
+        self._arrivals: List[Tuple[float, int, int, int]] = []
+        self._arrival_seq = 0
+
+        # Counters surfaced to RunResult.
+        self.accesses = 0
+        self.minor_faults = 0
+        self.remote_demand_reads = 0
+        self.prefetch_issued = 0
+        self.prefetch_wasted = 0
+        self.prefetch_hit_swapcache = 0
+        self.prefetch_hit_inflight = 0
+        self.prefetch_hit_dram = 0
+        self.issued_by_tier: Dict[str, int] = {}
+        self.hits_by_tier: Dict[str, int] = {}
+        self.breakdown = FaultBreakdown()
+        self.peak_resident_pages = 0
+        self.compute_us = 0.0
+
+        if hopp is not None:
+            self.controller.add_tap(hopp.on_mc_access)
+
+    # -- process setup -------------------------------------------------------------
+
+    def register_process(
+        self,
+        pid: int,
+        cgroup_name: Optional[str] = None,
+        limit_pages: Optional[int] = None,
+    ) -> PageTable:
+        """Create the process's page table and attach it to a cgroup
+        (shared 'default' group unless named)."""
+        if pid in self._page_tables:
+            raise ValueError(f"pid {pid} already registered")
+        name = cgroup_name or "default"
+        if name not in self._lru_of:
+            self.cgroups.create(
+                name,
+                limit_pages if limit_pages is not None else self.config.local_memory_pages,
+                charge_prefetch=self.config.charge_prefetch,
+            )
+            self._lru_of[name] = LruPageList()
+            self._resident[name] = 0
+        table = PageTable(pid)
+        self._page_tables[pid] = table
+        self._cgroup_of[pid] = self.cgroups.get(name)
+        if self.hopp is not None:
+            self.hopp.maintainer.attach(table)
+        return table
+
+    def add_vma(self, pid: int, start_vpn: int, npages: int, name: str = "") -> None:
+        self.vmas.for_pid(pid).add(start_vpn, npages, name)
+
+    def page_table(self, pid: int) -> PageTable:
+        return self._page_tables[pid]
+
+    # -- main entry: one LLC-miss reference -------------------------------------------
+
+    def access(self, pid: int, vaddr: int, is_write: bool = False) -> float:
+        """Drive one cacheline reference through the VM stack; returns
+        the critical-path cost charged to the application."""
+        self.accesses += 1
+        if self._arrivals and self._arrivals[0][0] <= self.now_us:
+            self._process_arrivals(self.now_us)
+
+        vpn = vaddr >> PAGE_SHIFT
+        table = self._page_tables[pid]
+        pte = table.entry(vpn)
+        state = pte.state
+
+        if state == PteState.PRESENT:
+            cost = T_DRAM_HIT_US
+            self.breakdown.dram_hit_us += cost
+            self._lru_of_pid(pid).touch(pid, vpn)
+            if pte.prefetched:
+                self._count_prefetch_hit(pid, vpn, pte, "dram")
+        elif state == PteState.UNTOUCHED:
+            cost = self._minor_fault(pid, vpn, table, pte)
+        elif state == PteState.SWAPCACHE:
+            cost = self._swapcache_hit(pid, vpn, table, pte)
+        elif state == PteState.INFLIGHT:
+            cost = self._inflight_hit(pid, vpn, table, pte)
+        else:  # PteState.REMOTE
+            cost = self._major_fault(pid, vpn, table, pte)
+
+        cost += self.config.compute_us_per_access
+        self.compute_us += self.config.compute_us_per_access
+        self.now_us += cost
+        # The resolved access reaches DRAM through the MC (the HoPP tap).
+        paddr = (pte.ppn << PAGE_SHIFT) | (vaddr & PAGE_OFFSET_MASK)
+        self.controller.access(self.now_us, paddr, is_write)
+        return cost
+
+    def run(self, trace, progress_every: int = 0) -> None:
+        """Drive a whole (pid, vaddr) or (pid, vaddr, is_write) trace."""
+        for item in trace:
+            if len(item) == 3:
+                pid, vaddr, is_write = item
+            else:
+                pid, vaddr = item
+                is_write = False
+            self.access(pid, vaddr, is_write)
+
+    # -- fault paths -----------------------------------------------------------------
+
+    def _minor_fault(self, pid: int, vpn: int, table: PageTable, pte: Pte) -> float:
+        """First touch: allocate a zero page locally."""
+        self.minor_faults += 1
+        self._ensure_headroom(pid)
+        cgroup = self._cgroup_of[pid]
+        cgroup.charge(1)
+        self._resident[cgroup.name] += 1
+        self._note_peak()
+        ppn = self.frames.allocate(pid, vpn)
+        table.map_page(vpn, ppn)
+        self._lru_of_pid(pid).insert(pid, vpn)
+        return self.config.minor_fault_cost_us
+
+    def _swapcache_hit(self, pid: int, vpn: int, table: PageTable, pte: Pte) -> float:
+        """Prefetch-hit: the page is local but unmapped (Section II-C)."""
+        self.swapcache.take(pid, vpn)
+        self._count_prefetch_hit(pid, vpn, pte, "swapcache")
+        table.map_page(vpn, pte.ppn)
+        self._release_remote_copy(pid, vpn)
+        self._lru_of_pid(pid).touch(pid, vpn)
+        cost = T_PREFETCH_HIT_US
+        self.breakdown.prefetch_hit_us += cost
+        return cost
+
+    def _inflight_hit(self, pid: int, vpn: int, table: PageTable, pte: Pte) -> float:
+        """The app faulted on a page whose prefetch is still in flight:
+        block until arrival, then map."""
+        wait = max(pte.arrival_us - self.now_us, 0.0)
+        self.breakdown.inflight_wait_us += wait
+        self._process_arrivals(self.now_us + wait)
+        # The arrival handler moved the page to SWAPCACHE or PRESENT.
+        if pte.state == PteState.SWAPCACHE:
+            self.swapcache.take(pid, vpn)
+            table.map_page(vpn, pte.ppn)
+            self._release_remote_copy(pid, vpn)
+        self._count_prefetch_hit(pid, vpn, pte, "inflight")
+        self._lru_of_pid(pid).touch(pid, vpn)
+        cost = wait + T_PREFETCH_HIT_US
+        self.breakdown.prefetch_hit_us += T_PREFETCH_HIT_US
+        return cost
+
+    def _major_fault(self, pid: int, vpn: int, table: PageTable, pte: Pte) -> float:
+        """Demand swap-in over RDMA — the costly synchronous path."""
+        self.remote_demand_reads += 1
+        self._ensure_headroom(pid)
+        cgroup = self._cgroup_of[pid]
+        cgroup.charge(1)
+        self._resident[cgroup.name] += 1
+        self._note_peak()
+        ppn = self.frames.allocate(pid, vpn)
+        pte.ppn = ppn
+        completion = self.fabric.read_page(self.now_us, priority=True)
+        rdma_wait = completion - self.now_us
+        slot = pte.swap_slot
+        table.map_page(vpn, ppn)
+        self._release_remote_copy(pid, vpn, slot)
+        self._lru_of_pid(pid).insert(pid, vpn)
+        cost = (
+            T_CONTEXT_SWITCH_US
+            + T_PTE_WALK_US
+            + T_SWAPCACHE_OP_US
+            + rdma_wait
+            + T_PTE_SET_US
+            + T_RECLAIM_CRITICAL_RESIDUE_US
+        )
+        self.breakdown.remote_fault_us += cost
+        if self.fault_prefetcher is not None:
+            fault_time = self.now_us + cost
+            targets = self.fault_prefetcher.on_fault(
+                pid, vpn, slot, fault_time, self
+            )
+            inject = self.fault_prefetcher.inject_pte
+            tier = self.fault_prefetcher.name
+            issued = 0
+            for target_pid, target_vpn in targets:
+                if (
+                    self.prefetch_page(target_pid, target_vpn, fault_time, inject, tier)
+                    is not None
+                ):
+                    issued += 1
+            # Posting prefetch reads from the fault handler is critical-
+            # path work (Section II-A step 3 repeats per window page).
+            issue_cost = issued * T_PREFETCH_ISSUE_US
+            cost += issue_cost
+            self.breakdown.remote_fault_us += issue_cost
+        return cost
+
+    # -- the prefetch backend (HoPP executor + fault-time baselines) ------------------
+
+    def prefetch_page(
+        self, pid: int, vpn: int, now_us: float, inject_pte: bool, tier: str
+    ):
+        """Fetch (pid, vpn) from remote asynchronously.  Returns the
+        arrival time, or None when there is nothing remote to fetch
+        (already local/in flight, never touched, or unknown PID)."""
+        table = self._page_tables.get(pid)
+        if table is None or vpn < 0:
+            return None
+        pte = table.entry(vpn)
+        if pte.state != PteState.REMOTE:
+            return None
+        self._ensure_headroom(pid)
+        cgroup = self._cgroup_of[pid]
+        cgroup.charge(1, prefetch=True)
+        self._resident[cgroup.name] += 1
+        self._note_peak()
+        pte.ppn = self.frames.allocate(pid, vpn)
+        completion = self.fabric.read_page(now_us)
+        pte.state = PteState.INFLIGHT
+        pte.prefetched = True
+        pte.prefetch_tier = tier
+        pte.arrival_us = completion
+        pte.injected = inject_pte
+        self._arrival_seq += 1
+        heapq.heappush(self._arrivals, (completion, self._arrival_seq, pid, vpn))
+        self.prefetch_issued += 1
+        self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + 1
+        return completion
+
+    def prefetch_batch(
+        self,
+        pid: int,
+        start_vpn: int,
+        npages: int,
+        now_us: float,
+        inject_pte: bool,
+        tier: str,
+    ):
+        """Fetch every REMOTE page in [start_vpn, start_vpn + npages) as
+        one scatter-gather RDMA request (Section IV's 2 MB batch).
+        Returns the shared arrival time, or None when nothing in the
+        range is remote."""
+        table = self._page_tables.get(pid)
+        if table is None or npages < 1:
+            return None
+        fetchable = [
+            vpn
+            for vpn in range(max(start_vpn, 0), start_vpn + npages)
+            if table.entry(vpn).state == PteState.REMOTE
+        ]
+        if not fetchable:
+            return None
+        arrivals = self.fabric.read_batch(now_us, len(fetchable))
+        cgroup = self._cgroup_of[pid]
+        for vpn, arrival in zip(fetchable, arrivals):
+            self._ensure_headroom(pid)
+            cgroup.charge(1, prefetch=True)
+            self._resident[cgroup.name] += 1
+            pte = table.entry(vpn)
+            pte.ppn = self.frames.allocate(pid, vpn)
+            pte.state = PteState.INFLIGHT
+            pte.prefetched = True
+            pte.prefetch_tier = tier
+            pte.arrival_us = arrival
+            pte.injected = inject_pte
+            self._arrival_seq += 1
+            heapq.heappush(self._arrivals, (arrival, self._arrival_seq, pid, vpn))
+        self._note_peak()
+        self.prefetch_issued += len(fetchable)
+        self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + len(fetchable)
+        return arrivals[-1]
+
+    def _process_arrivals(self, upto_us: float) -> None:
+        while self._arrivals and self._arrivals[0][0] <= upto_us:
+            _, _, pid, vpn = heapq.heappop(self._arrivals)
+            table = self._page_tables[pid]
+            pte = table.entry(vpn)
+            if pte.state != PteState.INFLIGHT:
+                continue
+            if pte.injected:
+                # Early PTE injection: map immediately, no future fault.
+                table.map_page(vpn, pte.ppn, injected=True)
+                self._release_remote_copy(pid, vpn)
+            else:
+                pte.state = PteState.SWAPCACHE
+                self.swapcache.insert(pid, vpn, pte.arrival_us)
+            self._lru_of_pid(pid).insert(pid, vpn)
+
+    # -- prefetch-hit accounting --------------------------------------------------------
+
+    def _count_prefetch_hit(self, pid: int, vpn: int, pte: Pte, kind: str) -> None:
+        if not pte.prefetched:
+            return
+        pte.prefetched = False
+        tier = pte.prefetch_tier
+        self.hits_by_tier[tier] = self.hits_by_tier.get(tier, 0) + 1
+        if kind == "dram":
+            self.prefetch_hit_dram += 1
+        elif kind == "swapcache":
+            self.prefetch_hit_swapcache += 1
+        else:
+            self.prefetch_hit_inflight += 1
+        cgroup = self._cgroup_of[pid]
+        cgroup.promote_prefetch(1)
+        if self.hopp is not None:
+            self.hopp.on_page_mapped(pid, vpn, self.now_us)
+        if (
+            self.fault_prefetcher is not None
+            and tier == self.fault_prefetcher.name
+        ):
+            self.fault_prefetcher.on_prefetch_hit(pid, vpn, self.now_us, self)
+
+    # -- reclaim -----------------------------------------------------------------------
+
+    def _ensure_headroom(self, pid: int) -> None:
+        cgroup = self._cgroup_of[pid]
+        resident = self._resident[cgroup.name]
+        if resident + 1 <= cgroup.limit_pages:
+            return
+        lru = self._lru_of_pid(pid)
+        evicted = 0
+        clean = 0
+        # Stream-behind hints from the HoPP data plane go first (the
+        # Section IV eviction extension): those pages are dead until the
+        # stream's next pass, so evicting them protects reusable pages
+        # that plain LRU would sacrifice to the scan.
+        advisor = self.hopp.advisor if self.hopp is not None else None
+        if advisor is not None:
+            goal = resident + 1 - max(cgroup.limit_pages - self.reclaimer.watermark_slack, 0)
+            hinted = advisor.take_victims(
+                max(goal, 0), lambda vp, vn: lru.__contains__((vp, vn))
+            )
+            for victim_pid, victim_vpn in hinted:
+                clean += self._evict(victim_pid, victim_vpn)
+                evicted += 1
+        resident = self._resident[cgroup.name]
+        victims = self.reclaimer.plan(lru, resident + 1, cgroup.limit_pages)
+        for victim_pid, victim_vpn in victims:
+            clean += self._evict(victim_pid, victim_vpn)
+            evicted += 1
+        if evicted:
+            self.reclaimer.account(evicted, clean)
+            self.breakdown.reclaim_us += T_RECLAIM_CRITICAL_RESIDUE_US
+
+    def _evict(self, pid: int, vpn: int) -> int:
+        """Evict one resident page; returns 1 when it was a clean drop."""
+        table = self._page_tables[pid]
+        pte = table.entry(vpn)
+        lru = self._lru_of_pid(pid)
+        lru.remove(pid, vpn)
+        cgroup = self._cgroup_of[pid]
+        wasted = pte.prefetched
+        was_prefetch_charge = False
+        if pte.state == PteState.SWAPCACHE:
+            # Clean: the remote copy at its slot is still valid.
+            self.swapcache.drop(pid, vpn)
+            self.frames.free(pte.ppn)
+            pte.ppn = -1
+            pte.state = PteState.REMOTE
+            was_prefetch_charge = True
+            clean = 1
+        elif pte.state == PteState.PRESENT:
+            ppn = pte.ppn
+            table.unmap_page(vpn)
+            slot = self.swap_space.allocate(pid, vpn)
+            self.remote.write(slot, pid, vpn)
+            self.fabric.write_page(self.now_us)
+            pte.swap_slot = slot
+            self.frames.free(ppn)
+            pte.ppn = -1
+            pte.state = PteState.REMOTE
+            # A PRESENT-but-never-hit page can only be an injected
+            # prefetch; it still carries its prefetch charge.
+            was_prefetch_charge = wasted
+            clean = 0
+        else:
+            # INFLIGHT pages are not on the LRU; nothing else to evict.
+            return 0
+        cgroup.uncharge(1, prefetch=was_prefetch_charge and not cgroup.charge_prefetch)
+        self._resident[cgroup.name] -= 1
+        if wasted:
+            pte.prefetched = False
+            self.prefetch_wasted += 1
+            if self.hopp is not None:
+                self.hopp.on_page_evicted(pid, vpn)
+            if (
+                self.fault_prefetcher is not None
+                and pte.prefetch_tier == self.fault_prefetcher.name
+            ):
+                self.fault_prefetcher.on_prefetch_wasted(pid, vpn)
+        return clean
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _release_remote_copy(self, pid: int, vpn: int, slot: Optional[int] = None) -> None:
+        """The page is mapped locally again: drop its swap slot."""
+        pte = self._page_tables[pid].entry(vpn)
+        slot = pte.swap_slot if slot is None else slot
+        if slot is not None and slot >= 0:
+            self.remote.release(slot)
+            self.swap_space.free(slot)
+            pte.swap_slot = -1
+
+    def _lru_of_pid(self, pid: int) -> LruPageList:
+        return self._lru_of[self._cgroup_of[pid].name]
+
+    def _note_peak(self) -> None:
+        resident = sum(self._resident.values())
+        if resident > self.peak_resident_pages:
+            self.peak_resident_pages = resident
+
+    # -- introspection for prefetchers ----------------------------------------------------
+
+    def demote_page(self, pid: int, vpn: int) -> bool:
+        """Move a resident page to the cold end of its cgroup's LRU so
+        reclaim takes it first (Leap's eager cache eviction)."""
+        if pid not in self._cgroup_of:
+            return False
+        return self._lru_of_pid(pid).demote(pid, vpn)
+
+    def page_state(self, pid: int, vpn: int) -> PteState:
+        table = self._page_tables.get(pid)
+        if table is None:
+            return PteState.UNTOUCHED
+        pte = table.peek(vpn)
+        return pte.state if pte is not None else PteState.UNTOUCHED

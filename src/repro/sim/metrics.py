@@ -1,0 +1,153 @@
+"""Run metrics — Section VI-A.
+
+* **Accuracy** — prefetched-page hits / total prefetched pages.
+* **Coverage** — prefetch hits / (remote demand requests + prefetch hits).
+* **Timeliness** — time from a prefetched page's arrival to its first hit.
+* **Normalized performance** — CT_local / CT_system.
+* **Speedup vs a baseline** — 1 - CT_system / CT_baseline (Section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.stats import Histogram, safe_ratio
+from repro.common.types import FaultBreakdown
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulated run of one workload."""
+
+    system: str
+    workload: str
+    completion_time_us: float = 0.0
+    accesses: int = 0
+    mc_reads: int = 0
+    minor_faults: int = 0
+    #: Demand reads that had to go to the remote node (major faults that
+    #: missed every local copy).
+    remote_demand_reads: int = 0
+    #: Prefetch hits split by where the hit landed (Figure 11's split).
+    prefetch_hit_swapcache: int = 0
+    prefetch_hit_inflight: int = 0
+    prefetch_hit_dram: int = 0
+    prefetch_issued: int = 0
+    prefetch_wasted: int = 0
+    issued_by_tier: Dict[str, int] = field(default_factory=dict)
+    hits_by_tier: Dict[str, int] = field(default_factory=dict)
+    breakdown: FaultBreakdown = field(default_factory=FaultBreakdown)
+    timeliness: Optional[Histogram] = None
+    fabric_reads: int = 0
+    fabric_writes: int = 0
+    reclaim_pages: int = 0
+    peak_resident_pages: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- paper metrics ----------------------------------------------------------
+
+    @property
+    def prefetch_hits(self) -> int:
+        return (
+            self.prefetch_hit_swapcache
+            + self.prefetch_hit_inflight
+            + self.prefetch_hit_dram
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return safe_ratio(self.prefetch_hits, self.prefetch_issued)
+
+    @property
+    def coverage(self) -> float:
+        return safe_ratio(
+            self.prefetch_hits, self.remote_demand_reads + self.prefetch_hits
+        )
+
+    @property
+    def dram_hit_coverage(self) -> float:
+        """Coverage counting only DRAM hits (injected PTEs) — the
+        HoPP-only part Figure 21 plots."""
+        return safe_ratio(
+            self.prefetch_hit_dram, self.remote_demand_reads + self.prefetch_hits
+        )
+
+    @property
+    def page_faults(self) -> int:
+        """Faults the application observed: demand remote reads plus
+        swapcache/inflight prefetch hits (those still fault)."""
+        return (
+            self.remote_demand_reads
+            + self.prefetch_hit_swapcache
+            + self.prefetch_hit_inflight
+        )
+
+    @property
+    def remote_accesses(self) -> int:
+        """Everything read over the fabric (Figure 17's numerator)."""
+        return self.fabric_reads
+
+    def normalized_performance(self, ct_local_us: float) -> float:
+        return safe_ratio(ct_local_us, self.completion_time_us)
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        if baseline.completion_time_us <= 0:
+            return 0.0
+        return 1.0 - self.completion_time_us / baseline.completion_time_us
+
+    def tier_accuracy(self, tier: str) -> float:
+        return safe_ratio(
+            self.hits_by_tier.get(tier, 0), self.issued_by_tier.get(tier, 0)
+        )
+
+    def tier_coverage(self, tier: str) -> float:
+        return safe_ratio(
+            self.hits_by_tier.get(tier, 0),
+            self.remote_demand_reads + self.prefetch_hits,
+        )
+
+    # -- export -------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A flat, JSON-serializable snapshot of the run (counters plus
+        the derived paper metrics)."""
+        out: Dict[str, object] = {
+            "system": self.system,
+            "workload": self.workload,
+            "completion_time_us": self.completion_time_us,
+            "accesses": self.accesses,
+            "mc_reads": self.mc_reads,
+            "minor_faults": self.minor_faults,
+            "remote_demand_reads": self.remote_demand_reads,
+            "prefetch_hit_swapcache": self.prefetch_hit_swapcache,
+            "prefetch_hit_inflight": self.prefetch_hit_inflight,
+            "prefetch_hit_dram": self.prefetch_hit_dram,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_wasted": self.prefetch_wasted,
+            "issued_by_tier": dict(self.issued_by_tier),
+            "hits_by_tier": dict(self.hits_by_tier),
+            "fabric_reads": self.fabric_reads,
+            "fabric_writes": self.fabric_writes,
+            "reclaim_pages": self.reclaim_pages,
+            "peak_resident_pages": self.peak_resident_pages,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "page_faults": self.page_faults,
+            "breakdown_us": {
+                "dram_hit": self.breakdown.dram_hit_us,
+                "prefetch_hit": self.breakdown.prefetch_hit_us,
+                "remote_fault": self.breakdown.remote_fault_us,
+                "inflight_wait": self.breakdown.inflight_wait_us,
+                "reclaim": self.breakdown.reclaim_us,
+            },
+            "extra": dict(self.extra),
+        }
+        if self.timeliness is not None and self.timeliness.stat.count:
+            out["timeliness_us"] = {
+                "mean": self.timeliness.stat.mean,
+                "p50": self.timeliness.quantile(0.5),
+                "p90": self.timeliness.quantile(0.9),
+                "count": self.timeliness.stat.count,
+            }
+        return out

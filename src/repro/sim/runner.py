@@ -1,0 +1,141 @@
+"""Run workloads under system configurations and collect paper metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.net.rdma import FabricConfig
+from repro.sim import systems as systems_mod
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.metrics import RunResult
+from repro.sim.systems import SystemSpec
+from repro.workloads.base import Workload
+
+#: Local-memory fraction used when measuring CT_local (big enough that
+#: nothing is ever reclaimed).
+LOCAL_FRACTION = 4.0
+
+
+def _resolve(system: Union[str, SystemSpec]) -> SystemSpec:
+    if isinstance(system, SystemSpec):
+        return system
+    return systems_mod.build(system)
+
+
+def make_machine(
+    workload: Workload,
+    system: Union[str, SystemSpec],
+    local_memory_fraction: float = 0.5,
+    fabric: Optional[FabricConfig] = None,
+) -> Machine:
+    """Assemble a machine sized for ``workload`` and register its
+    processes and VMAs."""
+    if local_memory_fraction <= 0:
+        raise ValueError("local_memory_fraction must be > 0")
+    spec = _resolve(system)
+    limit = max(int(math.ceil(workload.footprint_pages * local_memory_fraction)), 8)
+    config = MachineConfig(
+        local_memory_pages=limit,
+        fabric=fabric or FabricConfig(),
+        compute_us_per_access=workload.compute_us_per_access,
+    )
+    machine = spec.build(config)
+    for process in workload.processes:
+        machine.register_process(process.pid, process.cgroup)
+        for start_vpn, npages, name in process.vmas:
+            machine.add_vma(process.pid, start_vpn, npages, name)
+    return machine
+
+
+def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult:
+    """Snapshot a machine's counters into a RunResult."""
+    result = RunResult(
+        system=system_name,
+        workload=workload_name,
+        completion_time_us=machine.now_us,
+        accesses=machine.accesses,
+        mc_reads=machine.controller.reads,
+        minor_faults=machine.minor_faults,
+        remote_demand_reads=machine.remote_demand_reads,
+        prefetch_hit_swapcache=machine.prefetch_hit_swapcache,
+        prefetch_hit_inflight=machine.prefetch_hit_inflight,
+        prefetch_hit_dram=machine.prefetch_hit_dram,
+        prefetch_issued=machine.prefetch_issued,
+        prefetch_wasted=machine.prefetch_wasted,
+        issued_by_tier=dict(machine.issued_by_tier),
+        hits_by_tier=dict(machine.hits_by_tier),
+        breakdown=machine.breakdown,
+        fabric_reads=machine.fabric.reads,
+        fabric_writes=machine.fabric.writes,
+        reclaim_pages=machine.reclaimer.stats.pages_reclaimed,
+        peak_resident_pages=machine.peak_resident_pages,
+    )
+    if machine.hopp is not None:
+        plane = machine.hopp
+        result.timeliness = plane.executor.timeliness
+        result.extra.update(
+            {
+                "hpd_hot_page_ratio": plane.hpd.hot_page_ratio,
+                "hpd_bandwidth_overhead": plane.hpd.bandwidth_overhead,
+                "rpt_cache_hit_rate": plane.rpt_cache.hit_rate,
+                "stt_streams_created": float(plane.stt.streams_created),
+                "stt_observations": float(plane.stt.observations_out),
+            }
+        )
+    return result
+
+
+def run(
+    workload: Workload,
+    system: Union[str, SystemSpec] = "hopp",
+    local_memory_fraction: float = 0.5,
+    fabric: Optional[FabricConfig] = None,
+) -> RunResult:
+    """Drive one workload through one system; the primary entry point."""
+    spec = _resolve(system)
+    machine = make_machine(workload, spec, local_memory_fraction, fabric)
+    machine.run(workload.trace())
+    return collect(machine, spec.name, workload.name)
+
+
+def local_completion_time(
+    workload: Workload, fabric: Optional[FabricConfig] = None
+) -> float:
+    """CT_local: the all-in-local-memory baseline of Section VI-A."""
+    result = run(workload, "noprefetch", LOCAL_FRACTION, fabric)
+    return result.completion_time_us
+
+
+@dataclass
+class Comparison:
+    """Results of one workload across systems, with the local baseline."""
+
+    workload: str
+    ct_local_us: float
+    results: Dict[str, RunResult] = field(default_factory=dict)
+
+    def normalized_performance(self, system: str) -> float:
+        return self.results[system].normalized_performance(self.ct_local_us)
+
+    def speedup(self, system: str, baseline: str = "fastswap") -> float:
+        return self.results[system].speedup_vs(self.results[baseline])
+
+
+def compare(
+    workload: Workload,
+    system_names: Iterable[str],
+    local_memory_fraction: float = 0.5,
+    fabric: Optional[FabricConfig] = None,
+) -> Comparison:
+    """Run one workload under several systems on identical traces."""
+    comparison = Comparison(
+        workload=workload.name,
+        ct_local_us=local_completion_time(workload, fabric),
+    )
+    for name in system_names:
+        comparison.results[name] = run(
+            workload, name, local_memory_fraction, fabric
+        )
+    return comparison

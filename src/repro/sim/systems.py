@@ -1,0 +1,160 @@
+"""System registry: named configurations of the machine under test.
+
+Each name maps to a factory that assembles a :class:`Machine` with the
+right fault-time prefetcher and (for HoPP variants) the HoPP data plane.
+HoPP runs *on top of* Fastswap (Section V: "we integrate HoPP with
+Fastswap"), so every ``hopp*`` system keeps the Fastswap read-ahead on
+the fault path and adds the asynchronous data plane beside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.baselines.base import NoPrefetch
+from repro.baselines.depthn import DepthNPrefetcher
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.baselines.leap import LeapPrefetcher
+from repro.baselines.vma_readahead import VmaReadaheadPrefetcher
+from repro.hopp.policy import PolicyConfig
+from repro.hopp.system import HoppConfig, HoppDataPlane
+from repro.hopp.three_tier import TierConfig
+from repro.sim.machine import Machine, MachineConfig
+
+#: HoPP prefetch tiers, used by benches to attribute hits.
+HOPP_TIERS = ("ssp", "lsp", "rsp")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A buildable system configuration."""
+
+    name: str
+    builder: Callable[[MachineConfig], Machine]
+    #: Whether the paper's accounting says this system charges prefetched
+    #: pages to the application cgroup.
+    charges_prefetch: bool = True
+
+    def build(self, config: MachineConfig) -> Machine:
+        config = replace(config, charge_prefetch=self.charges_prefetch)
+        return self.builder(config)
+
+
+def _plain(prefetcher_factory: Callable[[], object]) -> Callable[[MachineConfig], Machine]:
+    def build(config: MachineConfig) -> Machine:
+        return Machine(config, fault_prefetcher=prefetcher_factory())
+
+    return build
+
+
+def _hopp(hopp_config_factory: Callable[[], HoppConfig]) -> Callable[[MachineConfig], Machine]:
+    def build(config: MachineConfig) -> Machine:
+        machine = Machine(config, fault_prefetcher=FastswapPrefetcher())
+        plane = HoppDataPlane(machine, hopp_config_factory())
+        machine.hopp = plane
+        machine.controller.add_tap(plane.on_mc_access)
+        return machine
+
+    return build
+
+
+def _hopp_cfg(**overrides) -> Callable[[], HoppConfig]:
+    def factory() -> HoppConfig:
+        return HoppConfig(**overrides)
+
+    return factory
+
+
+_REGISTRY: Dict[str, SystemSpec] = {}
+
+
+def _register(spec: SystemSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(SystemSpec("noprefetch", _plain(NoPrefetch)))
+_register(SystemSpec("fastswap", _plain(FastswapPrefetcher), charges_prefetch=False))
+_register(SystemSpec("leap", _plain(LeapPrefetcher), charges_prefetch=False))
+_register(SystemSpec("vma-readahead", _plain(VmaReadaheadPrefetcher), charges_prefetch=False))
+_register(SystemSpec("depth-16", _plain(lambda: DepthNPrefetcher(16))))
+_register(SystemSpec("depth-32", _plain(lambda: DepthNPrefetcher(32))))
+
+# Full HoPP and its ablations.
+_register(SystemSpec("hopp", _hopp(_hopp_cfg())))
+_register(
+    SystemSpec("hopp-ssp", _hopp(_hopp_cfg(tiers=TierConfig.only("ssp"))))
+)
+_register(
+    SystemSpec(
+        "hopp-ssp-lsp", _hopp(_hopp_cfg(tiers=TierConfig.only("ssp", "lsp")))
+    )
+)
+# No early PTE injection: HoPP's predictions land in the swapcache.
+_register(SystemSpec("hopp-swapcache", _hopp(_hopp_cfg(inject_pte=False))))
+# Fixed prefetch offsets (Figure 22's sensitivity arms).
+_register(
+    SystemSpec(
+        "hopp-offset-1",
+        _hopp(
+            _hopp_cfg(policy=PolicyConfig(adaptive=False, initial_offset=1.0))
+        ),
+    )
+)
+_register(
+    SystemSpec(
+        "hopp-offset-20k",
+        _hopp(
+            _hopp_cfg(
+                policy=PolicyConfig(
+                    adaptive=False, initial_offset=20_000.0, offset_max=20_000.0
+                )
+            )
+        ),
+    )
+)
+# Section IV extension: long streams graduate to 2 MB batch requests.
+_register(
+    SystemSpec(
+        "hopp-huge",
+        _hopp(_hopp_cfg(hugepage_enabled=True)),
+    )
+)
+# Section IV extension: stream-behind pages hinted to reclaim.
+_register(
+    SystemSpec(
+        "hopp-evict",
+        _hopp(_hopp_cfg(eviction_advisor_enabled=True)),
+    )
+)
+# Section III-D alternative: an online learned stride-context model
+# in the trainer slot instead of the three-tier cascade.
+_register(SystemSpec("hopp-learned", _hopp(_hopp_cfg(trainer="learned"))))
+# The Section II-B "revamped majority" prefetcher: full trace + pages
+# clustering + large-window majority voting, without the new tiers and
+# without early PTE injection.
+_register(
+    SystemSpec(
+        "majority-full",
+        _hopp(_hopp_cfg(tiers=TierConfig.only("ssp"), inject_pte=False)),
+    )
+)
+
+
+def build(name: str) -> SystemSpec:
+    """Look up a system by name; raises with the known names on typos."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown system {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def names() -> list:
+    return sorted(_REGISTRY)
+
+
+def register(spec: SystemSpec) -> None:
+    """Extension point: add a custom system configuration."""
+    _register(spec)

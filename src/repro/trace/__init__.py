@@ -1,0 +1,19 @@
+"""HMTT-style full memory trace capture (Section V emulation)."""
+
+from repro.trace.hmtt import HmttTracer, TraceRing, replay
+from repro.trace.persist import (
+    TraceFormatError,
+    load_trace,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "HmttTracer",
+    "TraceRing",
+    "replay",
+    "TraceFormatError",
+    "load_trace",
+    "read_trace",
+    "write_trace",
+]

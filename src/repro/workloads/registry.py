@@ -1,0 +1,92 @@
+"""Workload registry: name -> class, plus the paper's groupings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.graphx import GraphxBFS, GraphxCC, GraphxLP, GraphxPageRank
+from repro.workloads.hpl import Hpl
+from repro.workloads.kmeans import OmpKmeans
+from repro.workloads.microbench import (
+    AdderBenchmark,
+    ScanWithWorkingSet,
+    InterleavedStreams,
+    LadderStream,
+    RippleStream,
+    SimpleStream,
+)
+from repro.workloads.kvstore import KvCache
+from repro.workloads.npb import NpbCG, NpbFT, NpbIS, NpbLU, NpbMG
+from repro.workloads.quicksort import Quicksort
+from repro.workloads.spark import SparkBayes, SparkKmeans
+
+_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        OmpKmeans,
+        Quicksort,
+        Hpl,
+        NpbCG,
+        NpbFT,
+        NpbLU,
+        NpbMG,
+        NpbIS,
+        GraphxBFS,
+        GraphxCC,
+        GraphxPageRank,
+        GraphxLP,
+        SparkKmeans,
+        SparkBayes,
+        SimpleStream,
+        LadderStream,
+        RippleStream,
+        InterleavedStreams,
+        AdderBenchmark,
+        ScanWithWorkingSet,
+        KvCache,
+    )
+}
+
+#: Figure 9-11 group (applications without JVM).
+NON_JVM_APPS: List[str] = [
+    "omp-kmeans",
+    "quicksort",
+    "hpl",
+    "npb-cg",
+    "npb-ft",
+    "npb-lu",
+    "npb-mg",
+    "npb-is",
+]
+
+#: Figure 12-14 group (Spark/JVM applications).
+SPARK_APPS: List[str] = [
+    "graphx-cc",
+    "graphx-pr",
+    "graphx-bfs",
+    "graphx-lp",
+    "spark-kmeans",
+    "spark-bayes",
+]
+
+ALL_APPS: List[str] = NON_JVM_APPS + SPARK_APPS
+
+
+def build(name: str, seed: int = 1, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return cls(seed=seed, **kwargs)
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def register(cls: Type[Workload]) -> None:
+    """Extension point for user-defined workloads."""
+    _REGISTRY[cls.name] = cls

@@ -1,0 +1,200 @@
+"""Trace-generation building blocks.
+
+Every generator yields ``(pid, virtual_byte_address)`` cacheline READs.
+A *page visit* emits ``blocks_per_page`` touches spread across the
+page's 64 cachelines, which is what makes the page cross the HPD's hot
+threshold (N=8 by default).
+
+The three stream shapes of Section II-B map to:
+
+* :func:`scan`            — simple streams (fixed page stride);
+* :func:`ladder`          — ladder streams (tread across substreams with
+                            non-uniform spacing, then a rise);
+* :func:`ripple`          — stride-1 streams distorted by bounded
+                            out-of-order hops (Figure 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.constants import BLOCK_SHIFT, BLOCKS_PER_PAGE, PAGE_SHIFT
+
+Access = Tuple[int, int]
+
+
+def visit_page(pid: int, vpn: int, blocks_per_page: int = 8) -> Iterator[Access]:
+    """Touch ``blocks_per_page`` consecutive cachelines of one page
+    (streaming reads touch lines in order, which also spreads them
+    round-robin across interleaved memory channels)."""
+    base = vpn << PAGE_SHIFT
+    for i in range(min(blocks_per_page, BLOCKS_PER_PAGE)):
+        yield pid, base | (i << BLOCK_SHIFT)
+
+
+def scan(
+    pid: int,
+    start_vpn: int,
+    npages: int,
+    stride: int = 1,
+    blocks_per_page: int = 8,
+) -> Iterator[Access]:
+    """A simple stream: ``npages`` page visits with a fixed page stride.
+
+    ``stride`` may be negative (a descending scan, e.g. quicksort's
+    right-to-left partition pointer).
+    """
+    vpn = start_vpn
+    for _ in range(npages):
+        yield from visit_page(pid, vpn, blocks_per_page)
+        vpn += stride
+
+
+def ladder(
+    pid: int,
+    base_vpn: int,
+    substream_offsets: Sequence[int],
+    steps: int,
+    rise: int = 1,
+    blocks_per_page: int = 8,
+) -> Iterator[Access]:
+    """A ladder stream (Figure 2).
+
+    Each *tread* visits page ``base + offset + j*rise`` for every
+    substream offset in order; then ``j`` advances — the *rise*.  With
+    non-uniformly spaced offsets no single stride dominates, so SSP
+    fails and the repetitive stride pattern is LSP's to find.
+    """
+    for j in range(steps):
+        for offset in substream_offsets:
+            yield from visit_page(pid, base_vpn + offset + j * rise, blocks_per_page)
+
+
+def ripple(
+    pid: int,
+    start_vpn: int,
+    npages: int,
+    rng: random.Random,
+    swap_probability: float = 0.35,
+    hop_probability: float = 0.06,
+    hop_distance: int = 12,
+    blocks_per_page: int = 8,
+    shuffle_window: int = 2,
+) -> Iterator[Access]:
+    """A ripple stream (Figure 3): net stride 1, locally out of order.
+
+    Adjacent page visits swap with ``swap_probability`` — the paper's
+    RSP tolerates "2 out-of-order accesses, which happens most of the
+    time" (max_stride = 2).  With ``hop_probability`` an access briefly
+    hops to a page ``hop_distance`` away (a neighboring stream) before
+    returning — the across-stream distortion of Figure 3.
+
+    ``shuffle_window`` > 2 widens the local reordering beyond adjacent
+    swaps (used to stress RSP's tolerance limit in tests).
+    """
+    order: List[int] = list(range(start_vpn, start_vpn + npages))
+    if shuffle_window <= 2:
+        i = 0
+        while i < npages - 1:
+            if rng.random() < swap_probability:
+                order[i], order[i + 1] = order[i + 1], order[i]
+                i += 2
+            else:
+                i += 1
+    else:
+        for i in range(0, npages - shuffle_window, shuffle_window):
+            window = order[i : i + shuffle_window]
+            rng.shuffle(window)
+            order[i : i + shuffle_window] = window
+    for vpn in order:
+        if rng.random() < hop_probability:
+            yield from visit_page(pid, vpn + hop_distance, blocks_per_page)
+        yield from visit_page(pid, vpn, blocks_per_page)
+
+
+def random_gather(
+    pid: int,
+    start_vpn: int,
+    npages: int,
+    visits: int,
+    rng: random.Random,
+    blocks_per_page: int = 8,
+    zipf_exponent: float = 0.0,
+) -> Iterator[Access]:
+    """Irregular page visits over a region (hash joins, sparse gathers).
+
+    ``zipf_exponent`` > 0 skews visits toward low page numbers, modelling
+    hot-vertex behaviour in power-law graphs.
+    """
+    for _ in range(visits):
+        if zipf_exponent > 0.0:
+            # Inverse-CDF sample of a bounded Zipf-like distribution.
+            u = rng.random()
+            index = int(npages * u ** (1.0 + zipf_exponent))
+            index = min(index, npages - 1)
+        else:
+            index = rng.randrange(npages)
+        yield from visit_page(pid, start_vpn + index, blocks_per_page)
+
+
+def hotspot(
+    pid: int,
+    start_vpn: int,
+    npages: int,
+    visits: int,
+    rng: random.Random,
+    blocks_per_page: int = 4,
+) -> Iterator[Access]:
+    """Frequent touches to a small always-hot region (centroids, roots)."""
+    yield from random_gather(pid, start_vpn, npages, visits, rng, blocks_per_page)
+
+
+def interleave(
+    sources: Sequence[Iterator[Access]],
+    rng: random.Random,
+    chunk_pages: int = 4,
+    blocks_per_page: int = 8,
+) -> Iterator[Access]:
+    """Randomly interleave several access streams in page-visit chunks.
+
+    Models concurrent threads/streams: each turn picks a live source and
+    lets it emit ~``chunk_pages`` page visits.  This is what defeats
+    fault-history prefetchers (Figure 1) while HoPP's pages clustering
+    still separates the streams.
+    """
+    live: List[Iterator[Access]] = list(sources)
+    chunk_accesses = max(chunk_pages * blocks_per_page, 1)
+    while live:
+        source = live[rng.randrange(len(live))]
+        emitted = 0
+        for access in source:
+            yield access
+            emitted += 1
+            if emitted >= chunk_accesses:
+                break
+        else:
+            live.remove(source)
+
+
+def concat(*sources: Iterable[Access]) -> Iterator[Access]:
+    for source in sources:
+        yield from source
+
+
+def sprinkle(
+    source: Iterator[Access],
+    pid: int,
+    noise_start_vpn: int,
+    noise_npages: int,
+    rng: random.Random,
+    probability: float = 0.02,
+    blocks_per_page: int = 2,
+) -> Iterator[Access]:
+    """Inject interference pages (Section II-B, limitation 3): isolated
+    accesses that belong to no stream."""
+    for access in source:
+        yield access
+        if rng.random() < probability:
+            vpn = noise_start_vpn + rng.randrange(noise_npages)
+            yield from visit_page(pid, vpn, blocks_per_page)

@@ -1,0 +1,57 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, sweep
+from tests.conftest import quiet_fabric
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep(
+        workloads=["stream-simple"],
+        systems=["fastswap", "hopp"],
+        fractions=[0.25, 0.5],
+        seed=3,
+        fabric=quiet_fabric(),
+        workload_kwargs={"stream-simple": dict(npages=200, passes=2)},
+    )
+
+
+class TestSweep:
+    def test_cross_product_covered(self, small_sweep):
+        assert len(small_sweep.points) == 4
+        combos = {(p.system, p.fraction) for p in small_sweep.points}
+        assert combos == {
+            ("fastswap", 0.25), ("fastswap", 0.5),
+            ("hopp", 0.25), ("hopp", 0.5),
+        }
+
+    def test_metric_extraction(self, small_sweep):
+        point = SweepPoint("stream-simple", "hopp", 0.5, 3)
+        accuracy = small_sweep.metric(point, "accuracy")
+        assert 0.0 <= accuracy <= 1.0
+        np_value = small_sweep.metric(point, "normalized_performance")
+        assert 0.0 < np_value <= 1.05
+
+    def test_series_pivot(self, small_sweep):
+        series = small_sweep.series("normalized_performance")
+        assert set(series) == {"fastswap", "hopp"}
+        for label, values in series.items():
+            xs = [x for x, _ in values]
+            assert xs == sorted(xs) == [0.25, 0.5]
+
+    def test_hopp_dominates_in_sweep(self, small_sweep):
+        series = small_sweep.series("normalized_performance")
+        for (_, fast_y), (_, hopp_y) in zip(series["fastswap"], series["hopp"]):
+            assert hopp_y > fast_y
+
+    def test_to_rows(self, small_sweep):
+        rows = small_sweep.to_rows(["accuracy", "coverage"])
+        assert len(rows) == 4
+        assert all(len(row) == 5 for row in rows)
+
+    def test_unknown_metric_raises(self, small_sweep):
+        point = small_sweep.points[0]
+        with pytest.raises(KeyError):
+            small_sweep.metric(point, "bogus")

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads_and_systems(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "omp-kmeans" in out
+        assert "hopp" in out
+        assert "fastswap" in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main([
+            "run", "-w", "stream-simple", "-s", "hopp", "-f", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized performance" in out
+        assert "coverage" in out
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["run", "-w", "bogus"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_system_fails(self):
+        assert main(["run", "-w", "stream-simple", "-s", "bogus"]) == 2
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        code = main([
+            "compare", "-w", "stream-simple",
+            "--systems", "fastswap,hopp", "-f", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fastswap" in out
+        assert "hopp" in out
+        assert "norm-perf" in out
+
+
+class TestTraceAndAnalyze:
+    def test_trace_then_analyze(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.hmtt"
+        code = main([
+            "trace", "-w", "stream-simple", "-o", str(trace_file),
+            "--limit", "4000",
+        ])
+        assert code == 0
+        assert trace_file.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        code = main(["analyze", "--trace", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simple" in out
+
+    def test_analyze_workload_directly(self, capsys):
+        assert main(["analyze", "-w", "stream-ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "ladder" in out
+
+    def test_analyze_requires_exactly_one_source(self, capsys):
+        assert main(["analyze"]) == 2
+        assert main(["analyze", "--trace", "x", "-w", "y"]) == 2
+
+
+class TestJson:
+    def test_run_json_output(self, capsys):
+        import json
+
+        code = main([
+            "run", "-w", "stream-simple", "-s", "fastswap", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "fastswap"
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert "breakdown_us" in payload
+        assert payload["ct_local_us"] > 0
+
+
+class TestStudy:
+    def test_trace_then_study(self, tmp_path, capsys):
+        trace_file = tmp_path / "s.hmtt"
+        assert main([
+            "trace", "-w", "stream-simple", "-o", str(trace_file),
+            "--limit", "6000",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["study", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "offline prediction accuracy" in out

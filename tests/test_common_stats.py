@@ -1,0 +1,116 @@
+"""Tests for streaming statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    CounterSet,
+    Histogram,
+    RunningStat,
+    geometric_mean,
+    safe_ratio,
+)
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.min is None and stat.max is None
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.add(5.0)
+        assert stat.mean == 5.0
+        assert stat.variance == 0.0
+        assert stat.min == 5.0 and stat.max == 5.0
+
+    def test_known_sequence(self):
+        stat = RunningStat()
+        stat.extend([1.0, 2.0, 3.0, 4.0])
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.variance == pytest.approx(1.25)
+        assert stat.stddev == pytest.approx(math.sqrt(1.25))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_batch_formulas(self, values):
+        stat = RunningStat()
+        stat.extend(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stat.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert stat.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.add(value)
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.total == 4
+
+    def test_quantile_monotone(self):
+        hist = Histogram()
+        for value in range(1, 1001):
+            hist.add(float(value))
+        q50 = hist.quantile(0.5)
+        q90 = hist.quantile(0.9)
+        assert q50 <= q90
+        assert hist.quantile(0.0) <= q50
+
+    def test_quantile_empty(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_stat_tracks_values(self):
+        hist = Histogram()
+        hist.add(3.0)
+        hist.add(5.0)
+        assert hist.stat.mean == pytest.approx(4.0)
+
+
+class TestCounterSet:
+    def test_bump_and_get(self):
+        counters = CounterSet()
+        counters.bump("faults")
+        counters.bump("faults", 2)
+        assert counters.get("faults") == 3
+        assert counters["faults"] == 3
+        assert counters.get("other") == 0
+
+    def test_as_dict_is_copy(self):
+        counters = CounterSet()
+        counters.bump("x")
+        exported = counters.as_dict()
+        exported["x"] = 99
+        assert counters.get("x") == 1
+
+
+class TestRatios:
+    def test_safe_ratio(self):
+        assert safe_ratio(1, 2) == 0.5
+        assert safe_ratio(1, 0) == 0.0
+        assert safe_ratio(0, 0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0, 0.0, 8.0]) == pytest.approx(4.0)  # skips zeros
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_geometric_mean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) * 0.999 <= gm <= max(values) * 1.001

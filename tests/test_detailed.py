@@ -1,0 +1,78 @@
+"""Tests for the detailed cache-filter mode (Section II-D study)."""
+
+import itertools
+
+from repro.memsim.cache import Cache, CacheHierarchy
+from repro.sim.detailed import (
+    CacheFilter,
+    expand_to_references,
+    mmu_vs_mc_volumes,
+)
+from repro.workloads import build
+
+
+class TestCacheFilter:
+    def test_repeated_line_filtered(self):
+        cache_filter = CacheFilter(
+            CacheHierarchy(levels=[Cache(size_kb=4, ways=2, name="LLC")])
+        )
+        trace = [(1, 0x1000)] * 10
+        misses = list(cache_filter.filter(trace))
+        assert len(misses) == 1
+        assert cache_filter.references == 10
+
+    def test_streaming_misses_pass_through(self):
+        cache_filter = CacheFilter(
+            CacheHierarchy(levels=[Cache(size_kb=4, ways=2, name="LLC")])
+        )
+        trace = [(1, i << 6) for i in range(1000)]
+        misses = list(cache_filter.filter(trace))
+        # A stream larger than the cache misses on every new line.
+        assert len(misses) == 1000
+
+    def test_report(self):
+        cache_filter = CacheFilter()
+        list(cache_filter.filter([(1, 0), (1, 0), (1, 64)]))
+        report = cache_filter.report
+        assert report.mmu_accesses == 3
+        assert report.llc_misses == 2
+        assert report.reduction_factor == 1.5
+
+
+class TestExpandToReferences:
+    def test_volume_amplified(self):
+        trace = [(1, i << 6) for i in range(32)]
+        expanded = list(expand_to_references(trace, repeats=4, unroll=16))
+        assert len(expanded) == 32 * 4
+
+    def test_original_accesses_preserved_in_order(self):
+        trace = [(1, i << 6) for i in range(32)]
+        expanded = list(expand_to_references(trace, repeats=3, unroll=8))
+        positions = [expanded.index(access) for access in trace]
+        assert positions == sorted(positions)
+
+    def test_no_new_pages_introduced(self):
+        trace = [(1, i << 12) for i in range(20)]
+        expanded = expand_to_references(trace, repeats=5)
+        assert {v >> 12 for _, v in expanded} == set(range(20))
+
+
+class TestMmuVsMcStudy:
+    def test_locality_heavy_workload_filters_most(self):
+        """Section II-D's claim: the MC sees far fewer references than
+        the MMU, and more in-cache locality means more filtering."""
+        stream = build("stream-simple", seed=1, npages=300, passes=1)
+        graph = build("graphx-bfs", seed=1, edge_pages=400, vertex_pages=80)
+        stream_report = mmu_vs_mc_volumes(
+            itertools.islice(stream.trace(), 10_000), repeats=8
+        )
+        graph_report = mmu_vs_mc_volumes(
+            itertools.islice(graph.trace(), 10_000), repeats=8
+        )
+        assert stream_report.reduction_factor > 2.0
+        assert graph_report.reduction_factor > stream_report.reduction_factor
+
+    def test_zero_misses_reduction_factor(self):
+        from repro.sim.detailed import VolumeReport
+
+        assert VolumeReport(100, 0).reduction_factor == 0.0

@@ -1,0 +1,145 @@
+"""Failure-injection and edge-case tests: the simulator must degrade
+loudly (typed errors) or gracefully (documented fallbacks), never
+silently corrupt state."""
+
+import pytest
+
+from repro.baselines.depthn import DepthNPrefetcher
+from repro.baselines.fastswap import FastswapPrefetcher
+from repro.net.rdma import FabricConfig
+from repro.sim import runner
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import build
+from tests.conftest import quiet_fabric, touch_pages
+
+
+class TestTinyMemory:
+    def test_limit_smaller_than_working_set_still_completes(self):
+        """With 8 local pages and hundreds of distinct pages, every
+        access thrashes, but accounting stays consistent."""
+        machine = Machine(
+            MachineConfig(local_memory_pages=8, fabric=quiet_fabric(),
+                          watermark_slack=2),
+            fault_prefetcher=FastswapPrefetcher(),
+        )
+        machine.register_process(1)
+        touch_pages(machine, 1, list(range(200)) * 2)
+        assert machine._resident["default"] <= 8
+        assert machine.frames.used == machine._resident["default"]
+        assert machine.remote_demand_reads + machine.prefetch_issued > 0
+
+    def test_limit_one_page_degenerate(self):
+        machine = Machine(
+            MachineConfig(local_memory_pages=1, fabric=quiet_fabric(),
+                          watermark_slack=0)
+        )
+        machine.register_process(1)
+        touch_pages(machine, 1, [0, 1, 0, 1, 0])
+        assert machine._resident["default"] <= 2  # one in, one being placed
+
+    def test_depthn_with_tiny_memory_does_not_deadlock(self):
+        machine = Machine(
+            MachineConfig(local_memory_pages=8, fabric=quiet_fabric(),
+                          watermark_slack=2),
+            fault_prefetcher=DepthNPrefetcher(32),
+        )
+        machine.register_process(1)
+        touch_pages(machine, 1, list(range(100)) * 2)
+        assert machine.now_us > 0
+
+
+class TestRemoteCapacity:
+    def test_remote_node_exhaustion_raises(self):
+        machine = Machine(
+            MachineConfig(
+                local_memory_pages=4,
+                remote_capacity_pages=8,
+                fabric=quiet_fabric(),
+                watermark_slack=1,
+            )
+        )
+        machine.register_process(1)
+        with pytest.raises(MemoryError):
+            touch_pages(machine, 1, range(64))
+
+
+class TestDegenerateTraces:
+    def test_empty_trace(self):
+        machine = Machine(MachineConfig(local_memory_pages=8, fabric=quiet_fabric()))
+        machine.register_process(1)
+        machine.run(iter([]))
+        assert machine.accesses == 0
+        assert machine.now_us == 0.0
+
+    def test_single_access(self):
+        machine = Machine(MachineConfig(local_memory_pages=8, fabric=quiet_fabric()))
+        machine.register_process(1)
+        machine.run([(1, 0)])
+        assert machine.accesses == 1
+        assert machine.minor_faults == 1
+
+    def test_same_page_forever(self):
+        machine = Machine(MachineConfig(local_memory_pages=8, fabric=quiet_fabric()))
+        machine.register_process(1)
+        machine.run([(1, 0)] * 1000)
+        assert machine.remote_demand_reads == 0
+        assert machine.minor_faults == 1
+
+
+class TestExtremeFabric:
+    def test_congested_fabric_slows_but_completes(self):
+        wl = build("stream-simple", npages=200, passes=2)
+        fast = runner.run(wl, "hopp", 0.5, FabricConfig(gbps=56.0, seed=1))
+        slow = runner.run(
+            wl, "hopp", 0.5,
+            FabricConfig(gbps=0.5, jitter_us=0.0, spike_probability=0.0, seed=1),
+        )
+        assert slow.completion_time_us > fast.completion_time_us
+        # Counters still conserve.
+        assert slow.prefetch_hits <= slow.prefetch_issued
+
+    def test_always_spiking_fabric(self):
+        wl = build("stream-simple", npages=200, passes=2)
+        result = runner.run(
+            wl, "fastswap", 0.5,
+            FabricConfig(spike_probability=1.0, spike_factor=20.0, seed=1),
+        )
+        assert result.completion_time_us > 0
+        assert 0.0 <= result.coverage <= 1.0
+
+
+class TestHoppRobustness:
+    def test_hopp_with_pure_random_trace_stays_accurate_or_silent(self):
+        """On unpredictable traffic HoPP should mostly abstain, not spray
+        wrong prefetches (that is what keeps accuracy high)."""
+        import random
+
+        rng = random.Random(5)
+        machine = runner.make_machine(
+            build("stream-simple", npages=64), "hopp", 4.0, quiet_fabric()
+        )
+        trace = []
+        for _ in range(3000):
+            vpn = (1 << 20) + rng.randrange(2000)
+            for block in range(8):
+                trace.append((1, (vpn << 12) | (block << 6)))
+        machine.run(iter(trace))
+        plane = machine.hopp
+        total_hot = plane.stt.hot_pages_in
+        issued = sum(
+            machine.issued_by_tier.get(tier, 0) for tier in ("ssp", "lsp", "rsp")
+        )
+        assert total_hot > 0
+        # Far fewer prefetches than hot pages: the trainer abstained.
+        assert issued < total_hot * 0.2
+
+    def test_workload_without_vmas_runs_under_vma_readahead(self):
+        machine = Machine(
+            MachineConfig(local_memory_pages=16, fabric=quiet_fabric()),
+            fault_prefetcher=__import__(
+                "repro.baselines.vma_readahead", fromlist=["VmaReadaheadPrefetcher"]
+            ).VmaReadaheadPrefetcher(),
+        )
+        machine.register_process(1)  # no VMAs registered
+        touch_pages(machine, 1, list(range(64)) * 2)
+        assert machine.accesses == 128

@@ -1,0 +1,100 @@
+"""Tests for the Section V prototype emulation (software HPD)."""
+
+import pytest
+
+from repro.common.types import RptEntry
+from repro.hopp.prototype import PrototypeDataPlane
+from repro.hopp.system import HoppConfig, HoppDataPlane
+
+
+class RecordingBackend:
+    def __init__(self):
+        self.requests = []
+
+    def prefetch_page(self, pid, vpn, now_us, inject_pte, tier):
+        self.requests.append((pid, vpn, tier))
+        return now_us + 4.0
+
+
+def seed_rpt(plane, npages=200, base_vpn=1000):
+    for ppn in range(npages):
+        plane.rpt.write(ppn, RptEntry(pid=1, vpn=base_vpn + ppn))
+
+
+def stream_accesses(plane, npages, start_us=0.0, us_per_access=1.0):
+    t = start_us
+    for ppn in range(npages):
+        for block in range(8):
+            plane.on_mc_access(t, (ppn << 12) | (block << 6), False)
+            t += us_per_access
+    return t
+
+
+class TestPrototypeDataPlane:
+    def test_fast_consumer_matches_design(self):
+        design_backend, proto_backend = RecordingBackend(), RecordingBackend()
+        design = HoppDataPlane(design_backend, HoppConfig(stt_history_len=8))
+        prototype = PrototypeDataPlane(
+            proto_backend, HoppConfig(stt_history_len=8),
+            consume_rate_per_us=1000.0,
+        )
+        for plane in (design, prototype):
+            seed_rpt(plane)
+        stream_accesses(design, 100)
+        stream_accesses(prototype, 100)
+        assert [r[1] for r in proto_backend.requests] == [
+            r[1] for r in design_backend.requests
+        ]
+        assert prototype.records_dropped == 0
+
+    def test_starved_consumer_drops_trace(self):
+        backend = RecordingBackend()
+        prototype = PrototypeDataPlane(
+            backend, HoppConfig(stt_history_len=8),
+            consume_rate_per_us=0.01, ring_capacity=64,
+        )
+        seed_rpt(prototype)
+        stream_accesses(prototype, 100, us_per_access=1.0)
+        assert prototype.records_dropped > 0
+        assert prototype.drop_rate > 0.5
+        assert prototype.records_consumed < prototype.records_enqueued
+
+    def test_backlog_builds_when_behind(self):
+        prototype = PrototypeDataPlane(
+            RecordingBackend(), HoppConfig(), consume_rate_per_us=0.5,
+            ring_capacity=1 << 16,
+        )
+        seed_rpt(prototype)
+        stream_accesses(prototype, 50, us_per_access=0.1)
+        assert prototype.backlog > 0
+
+    def test_consumption_budget_accumulates_with_time(self):
+        prototype = PrototypeDataPlane(
+            RecordingBackend(), HoppConfig(), consume_rate_per_us=1.0,
+        )
+        seed_rpt(prototype)
+        # Burst at t=0: mostly queued.
+        for block in range(8):
+            prototype.on_mc_access(0.0, block << 6, False)
+        backlog_before = prototype.backlog
+        # A later access gives the consumer time to catch up.
+        prototype.on_mc_access(100.0, (1 << 12), False)
+        assert prototype.backlog < backlog_before
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PrototypeDataPlane(RecordingBackend(), consume_rate_per_us=0.0)
+
+    def test_counters_conserve(self):
+        prototype = PrototypeDataPlane(
+            RecordingBackend(), HoppConfig(), consume_rate_per_us=2.0,
+            ring_capacity=32,
+        )
+        seed_rpt(prototype)
+        stream_accesses(prototype, 60, us_per_access=0.2)
+        assert (
+            prototype.records_consumed
+            + prototype.records_dropped
+            + prototype.backlog
+            == prototype.records_enqueued
+        )

@@ -1,0 +1,171 @@
+"""Tests for the Stream Training Table (Section III-D, Figure 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hopp.stt import StreamTrainingTable
+
+
+class TestStreamMatching:
+    def test_sequential_pages_join_one_stream(self):
+        stt = StreamTrainingTable(history_len=4)
+        assert stt.feed(1, 100) is None
+        assert stt.feed(1, 101) is None
+        assert stt.feed(1, 102) is None
+        obs = stt.feed(1, 103)
+        assert obs is not None
+        assert obs.vpn_history == (100, 101, 102, 103)
+        assert obs.stride_history == (1, 1, 1)
+        assert stt.streams_created == 1
+
+    def test_distance_beyond_delta_starts_new_stream(self):
+        stt = StreamTrainingTable(stream_delta=64)
+        stt.feed(1, 100)
+        stt.feed(1, 100 + 65)
+        assert stt.streams_created == 2
+
+    def test_distance_within_delta_joins(self):
+        stt = StreamTrainingTable(stream_delta=64)
+        stt.feed(1, 100)
+        stt.feed(1, 164)
+        assert stt.streams_created == 1
+
+    def test_pid_separates_streams(self):
+        stt = StreamTrainingTable()
+        stt.feed(1, 100)
+        stt.feed(2, 101)
+        assert stt.streams_created == 2
+
+    def test_closest_stream_wins(self):
+        stt = StreamTrainingTable(history_len=4, stream_delta=64)
+        stt.feed(1, 100)   # stream A
+        stt.feed(1, 160)   # within 64 of A -> joins A (distance 60)
+        assert stt.streams_created == 1
+        stt.feed(1, 300)   # stream B
+        # 310 is within delta of B only.
+        stt.feed(1, 310)
+        streams = stt.streams()
+        assert sorted(len(s.vpns) for s in streams) == [2, 2]
+
+    def test_duplicate_vpn_dropped(self):
+        """Repeated hot-page extraction (multi-channel) is de-duplicated
+        (Section III-B)."""
+        stt = StreamTrainingTable(history_len=4)
+        stt.feed(1, 100)
+        stt.feed(1, 100)
+        assert stt.duplicates_dropped == 1
+        entry = stt.streams()[0]
+        assert list(entry.vpns) == [100]
+
+    def test_descending_stream(self):
+        stt = StreamTrainingTable(history_len=4)
+        for vpn in (100, 99, 98):
+            stt.feed(1, vpn)
+        obs = stt.feed(1, 97)
+        assert obs.stride_history == (-1, -1, -1)
+
+
+class TestObservations:
+    def test_no_observation_until_history_full(self):
+        stt = StreamTrainingTable(history_len=16)
+        for i in range(15):
+            assert stt.feed(1, 100 + i) is None
+        assert stt.feed(1, 115) is not None
+        assert stt.observations_out == 1
+
+    def test_every_subsequent_page_observes(self):
+        stt = StreamTrainingTable(history_len=4)
+        for i in range(4):
+            stt.feed(1, 100 + i)
+        for i in range(4, 10):
+            assert stt.feed(1, 100 + i) is not None
+        assert stt.observations_out == 7
+
+    def test_observation_window_slides(self):
+        stt = StreamTrainingTable(history_len=4)
+        for i in range(5):
+            obs = stt.feed(1, 100 + i)
+        assert obs.vpn_history == (101, 102, 103, 104)
+
+    def test_timestamp_propagated(self):
+        stt = StreamTrainingTable(history_len=4)
+        for i in range(3):
+            stt.feed(1, 100 + i, now_us=float(i))
+        obs = stt.feed(1, 103, now_us=42.0)
+        assert obs.timestamp_us == 42.0
+
+    def test_stream_id_stable(self):
+        stt = StreamTrainingTable(history_len=4)
+        ids = set()
+        for i in range(8):
+            obs = stt.feed(1, 100 + i)
+            if obs:
+                ids.add(obs.stream_id)
+        assert len(ids) == 1
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self):
+        stt = StreamTrainingTable(entries=2, history_len=4, stream_delta=4)
+        stt.feed(1, 0)
+        stt.feed(1, 100)
+        stt.feed(1, 200)  # evicts the stream at 0
+        assert stt.streams_evicted == 1
+        assert len(stt) == 2
+        # Feeding near the evicted base creates a new stream.
+        stt.feed(1, 1)
+        assert stt.streams_created == 4
+
+    def test_active_stream_survives_eviction_pressure(self):
+        stt = StreamTrainingTable(entries=2, history_len=4, stream_delta=4)
+        stt.feed(1, 0)
+        for noise in range(10):
+            stt.feed(1, 1000 + noise * 100)  # churn the other entry
+            stt.feed(1, 1 + noise)           # keep stream 0 hot
+        streams = stt.streams()
+        # The hot stream kept its (full, maxlen=4) history despite the
+        # churn evicting every noise entry.
+        assert any(len(s.vpns) == 4 and s.vpns[-1] == 10 for s in streams)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StreamTrainingTable(entries=0)
+        with pytest.raises(ValueError):
+            StreamTrainingTable(history_len=2)
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 2000)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_observation_consistency(self, pages):
+        """Every observation's strides must match its VPN history, the
+        newest VPN must equal obs.vpn, and PIDs never mix."""
+        stt = StreamTrainingTable(history_len=8)
+        for pid, vpn in pages:
+            obs = stt.feed(pid, vpn)
+            if obs is None:
+                continue
+            assert obs.pid == pid
+            assert obs.vpn == obs.vpn_history[-1] == vpn
+            assert len(obs.vpn_history) == 8
+            assert len(obs.stride_history) == 7
+            derived = tuple(
+                b - a for a, b in zip(obs.vpn_history, obs.vpn_history[1:])
+            )
+            assert derived == obs.stride_history
+            assert all(s != 0 for s in obs.stride_history)  # duplicates dropped
+
+    @given(st.lists(st.integers(0, 500), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_table_never_exceeds_capacity(self, vpns):
+        stt = StreamTrainingTable(entries=8, history_len=4)
+        for vpn in vpns:
+            stt.feed(1, vpn)
+            assert len(stt) <= 8

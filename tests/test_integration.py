@@ -1,0 +1,166 @@
+"""End-to-end integration tests: the paper's headline claims must hold
+as *shapes* on scaled-down workloads (see DESIGN.md section 7)."""
+
+import pytest
+
+from repro.sim import runner
+from repro.trace.hmtt import HmttTracer
+from repro.workloads import build
+from tests.conftest import quiet_fabric
+
+
+@pytest.fixture(scope="module")
+def stream_comparison():
+    wl = build("stream-simple", npages=400, passes=2)
+    return runner.compare(
+        wl, ["fastswap", "leap", "hopp", "hopp-swapcache"], 0.5, quiet_fabric()
+    )
+
+
+class TestHeadlineClaims:
+    def test_hopp_beats_fastswap_on_streams(self, stream_comparison):
+        assert (
+            stream_comparison.normalized_performance("hopp")
+            > stream_comparison.normalized_performance("fastswap")
+        )
+
+    def test_hopp_accuracy_and_coverage_over_90(self, stream_comparison):
+        result = stream_comparison.results["hopp"]
+        assert result.accuracy > 0.9
+        assert result.coverage > 0.9
+
+    def test_hopp_near_local_on_streams(self, stream_comparison):
+        # Quicksort/K-means-grade patterns approach local performance.
+        assert stream_comparison.normalized_performance("hopp") > 0.9
+
+    def test_early_pte_injection_matters(self, stream_comparison):
+        """hopp-swapcache differs only in injection: it must be slower
+        (every hit pays the 2.3 us prefetch-hit fault, Section II-C)."""
+        with_inject = stream_comparison.results["hopp"]
+        without = stream_comparison.results["hopp-swapcache"]
+        assert with_inject.completion_time_us < without.completion_time_us
+        assert with_inject.prefetch_hit_dram > 0
+        assert without.prefetch_hit_dram == 0
+
+    def test_hopp_nearly_eliminates_page_faults(self, stream_comparison):
+        hopp = stream_comparison.results["hopp"]
+        fast = stream_comparison.results["fastswap"]
+        assert hopp.page_faults < fast.page_faults / 2
+
+
+class TestConcurrentStreams:
+    def test_leap_confused_by_two_streams(self):
+        """Section VI-E: with two threads, Leap's global fault history
+        mixes the streams; HoPP's clustering keeps them apart."""
+        wl = build("adder", pages_per_thread=400)
+        comparison = runner.compare(
+            wl, ["fastswap", "leap", "hopp"], 0.25, quiet_fabric()
+        )
+        assert comparison.normalized_performance("leap") <= (
+            comparison.normalized_performance("fastswap") + 0.02
+        )
+        assert comparison.normalized_performance("hopp") > (
+            comparison.normalized_performance("fastswap") + 0.1
+        )
+
+    def test_offset_control_beats_fixed_offsets(self):
+        """Figure 22: dynamic offset > offset=1 and > offset=20K."""
+        wl = build("adder", pages_per_thread=400)
+        comparison = runner.compare(
+            wl,
+            ["hopp", "hopp-offset-1", "hopp-offset-20k"],
+            0.25,
+            quiet_fabric(),
+        )
+        dynamic = comparison.normalized_performance("hopp")
+        assert dynamic > comparison.normalized_performance("hopp-offset-1")
+        assert dynamic > comparison.normalized_performance("hopp-offset-20k")
+
+
+class TestDepthN:
+    def test_depth_n_wastes_bandwidth_on_strided_app(self):
+        """Figure 17's shape: Depth-N issues the most remote reads on a
+        large-stride app and can lose to Fastswap (NPB-FT here)."""
+        wl = build("npb-ft", main_pages=800, iterations=2)
+        comparison = runner.compare(
+            wl, ["fastswap", "depth-32", "hopp"], 0.5, quiet_fabric()
+        )
+        depth = comparison.results["depth-32"]
+        assert depth.remote_accesses > comparison.results["fastswap"].remote_accesses
+        assert depth.remote_accesses > comparison.results["hopp"].remote_accesses
+        assert comparison.normalized_performance("hopp") > (
+            comparison.normalized_performance("depth-32")
+        )
+
+
+class TestTierContributions:
+    def test_lsp_adds_coverage_on_ladders(self):
+        """Figures 18-20: adding LSP to SSP raises coverage on a ladder
+        workload without collapsing accuracy."""
+        wl = build("stream-ladder", steps=400, passes=2)
+        comparison = runner.compare(
+            wl, ["hopp-ssp", "hopp-ssp-lsp"], 0.5, quiet_fabric()
+        )
+        ssp_only = comparison.results["hopp-ssp"]
+        with_lsp = comparison.results["hopp-ssp-lsp"]
+        assert with_lsp.coverage > ssp_only.coverage
+        assert with_lsp.accuracy > 0.85
+
+    def test_rsp_adds_coverage_on_ripples(self):
+        wl = build("stream-ripple", npages=800, passes=2)
+        comparison = runner.compare(
+            wl, ["hopp-ssp-lsp", "hopp"], 0.5, quiet_fabric()
+        )
+        assert (
+            comparison.results["hopp"].coverage
+            >= comparison.results["hopp-ssp-lsp"].coverage
+        )
+        assert comparison.results["hopp"].hits_by_tier.get("rsp", 0) > 0
+
+
+class TestFullTraceMotivation:
+    def test_majority_full_beats_leap_prediction_quality(self):
+        """Section II-B: the revamped majority prefetcher (full trace +
+        clustering + large window) improves accuracy and coverage over
+        fault-driven Leap."""
+        wl = build("stream-interleaved", npages=500, passes=2)
+        comparison = runner.compare(
+            wl, ["leap", "majority-full"], 0.5, quiet_fabric()
+        )
+        leap = comparison.results["leap"]
+        majority = comparison.results["majority-full"]
+        assert majority.coverage > leap.coverage
+        assert majority.accuracy >= leap.accuracy - 0.02
+
+
+class TestHmttIntegration:
+    def test_tracer_sees_every_mc_access(self):
+        wl = build("stream-simple", npages=100, passes=1)
+        machine = runner.make_machine(wl, "fastswap", 0.5, quiet_fabric())
+        tracer = HmttTracer()
+        tracer.attach(machine.controller)
+        machine.run(wl.trace())
+        assert tracer.ring.produced == machine.controller.accesses
+
+    def test_trace_records_follow_physical_frames(self):
+        wl = build("stream-simple", npages=50, passes=1)
+        machine = runner.make_machine(wl, "noprefetch", 4.0, quiet_fabric())
+        tracer = HmttTracer()
+        tracer.attach(machine.controller)
+        machine.run(wl.trace())
+        ppns = {record.ppn for record in tracer.ring.drain()}
+        # 50 pages mapped to 50 distinct frames.
+        assert len(ppns) == 50
+
+
+class TestSpark:
+    def test_jvm_coverage_lower_than_omp(self):
+        """Section VI-B: Spark coverage trails the non-JVM apps."""
+        omp = runner.run(build("omp-kmeans"), "hopp", 0.5, quiet_fabric())
+        spark = runner.run(build("spark-kmeans"), "hopp", 0.15, quiet_fabric())
+        assert spark.coverage < omp.coverage
+
+    def test_hopp_still_wins_on_spark(self):
+        wl = build("spark-kmeans")
+        comparison = runner.compare(wl, ["fastswap", "hopp"], 0.15, quiet_fabric())
+        assert comparison.speedup("hopp") > 0.1

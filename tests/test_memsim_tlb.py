@@ -1,0 +1,77 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.memsim.tlb import WALK_COST_US, Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=16, ways=4)
+        assert tlb.translate(1, 0x5000) == WALK_COST_US
+        assert tlb.translate(1, 0x5040) == 0.0  # same page
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_distinct_pages_miss(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.translate(1, 0 << 12)
+        assert tlb.translate(1, 1 << 12) == WALK_COST_US
+
+    def test_pid_tagging(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.translate(1, 0x5000)
+        # Same VPN, different PID: separate entry (ASID semantics).
+        assert tlb.translate(2, 0x5000) == WALK_COST_US
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(entries=4, ways=1)
+        for vpn in range(16):
+            tlb.translate(1, vpn << 12)
+        # Working set exceeded capacity: revisits miss again.
+        assert tlb.translate(1, 0) == WALK_COST_US
+
+    def test_probe_pollutes(self):
+        """Section II-D: prefetch-candidate probes evict real entries."""
+        tlb = Tlb(entries=4, ways=1)
+        for vpn in range(4):
+            tlb.translate(1, vpn << 12)
+        hits_before = tlb.stats.hits
+        # Probe 4 unrelated pages mapping to the same sets.
+        for vpn in range(100, 104):
+            tlb.probe(1, vpn)
+        assert tlb.stats.probe_evictions > 0
+        # The application's entries are gone.
+        assert tlb.translate(1, 0) == WALK_COST_US
+        assert tlb.stats.hits == hits_before
+
+    def test_probe_does_not_touch_stats_hits(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.probe(1, 5)
+        assert tlb.stats.hits == 0 and tlb.stats.misses == 0
+
+    def test_invalidate(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.translate(1, 0x5000)
+        assert tlb.invalidate(1, 5)
+        assert not tlb.invalidate(1, 5)
+        assert tlb.translate(1, 0x5000) == WALK_COST_US
+
+    def test_flush(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.translate(1, 0x5000)
+        tlb.flush()
+        assert (1, 5) not in tlb
+
+    def test_hit_rate(self):
+        tlb = Tlb(entries=16, ways=4)
+        tlb.translate(1, 0)
+        tlb.translate(1, 0)
+        tlb.translate(1, 0)
+        assert tlb.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=5, ways=4)
+        with pytest.raises(ValueError):
+            Tlb(entries=0, ways=1)

@@ -1,0 +1,94 @@
+"""Unit tests for RunResult metric math and export."""
+
+import json
+
+import pytest
+
+from repro.common.stats import Histogram
+from repro.sim.metrics import RunResult
+
+
+def result(**overrides) -> RunResult:
+    base = dict(system="test", workload="wl")
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestPaperMetrics:
+    def test_accuracy(self):
+        r = result(prefetch_issued=100, prefetch_hit_dram=60,
+                   prefetch_hit_swapcache=20, prefetch_hit_inflight=10)
+        assert r.prefetch_hits == 90
+        assert r.accuracy == pytest.approx(0.9)
+
+    def test_accuracy_no_prefetches(self):
+        assert result().accuracy == 0.0
+
+    def test_coverage_definition(self):
+        """coverage = hits / (remote demand requests + hits), VI-A."""
+        r = result(remote_demand_reads=10, prefetch_hit_dram=90)
+        assert r.coverage == pytest.approx(0.9)
+
+    def test_dram_hit_coverage_subset(self):
+        r = result(remote_demand_reads=10, prefetch_hit_dram=45,
+                   prefetch_hit_swapcache=45)
+        assert r.dram_hit_coverage == pytest.approx(0.45)
+        assert r.coverage == pytest.approx(0.9)
+
+    def test_page_faults_counts_swapcache_hits(self):
+        """Swapcache/inflight prefetch hits still fault (II-C); DRAM
+        hits from injected PTEs do not."""
+        r = result(remote_demand_reads=5, prefetch_hit_swapcache=3,
+                   prefetch_hit_inflight=2, prefetch_hit_dram=100)
+        assert r.page_faults == 10
+
+    def test_normalized_performance(self):
+        r = result(completion_time_us=200.0)
+        assert r.normalized_performance(100.0) == pytest.approx(0.5)
+        assert result(completion_time_us=0.0).normalized_performance(100.0) == 0.0
+
+    def test_speedup_vs(self):
+        fast = result(completion_time_us=100.0)
+        slow = result(completion_time_us=150.0)
+        assert fast.speedup_vs(slow) == pytest.approx(1 - 100 / 150)
+        assert slow.speedup_vs(fast) < 0
+
+    def test_tier_metrics(self):
+        r = result(
+            issued_by_tier={"ssp": 50, "lsp": 10},
+            hits_by_tier={"ssp": 45, "lsp": 5},
+            remote_demand_reads=10,
+            prefetch_hit_dram=50,
+        )
+        assert r.tier_accuracy("ssp") == pytest.approx(0.9)
+        assert r.tier_accuracy("lsp") == pytest.approx(0.5)
+        assert r.tier_accuracy("rsp") == 0.0
+        assert r.tier_coverage("ssp") == pytest.approx(45 / 60)
+
+
+class TestExport:
+    def test_to_dict_json_serializable(self):
+        r = result(
+            completion_time_us=123.4,
+            issued_by_tier={"ssp": 5},
+            hits_by_tier={"ssp": 4},
+            prefetch_issued=5,
+            prefetch_hit_dram=4,
+        )
+        payload = r.to_dict()
+        encoded = json.dumps(payload)
+        decoded = json.loads(encoded)
+        assert decoded["accuracy"] == pytest.approx(0.8)
+        assert decoded["issued_by_tier"] == {"ssp": 5}
+        assert "breakdown_us" in decoded
+
+    def test_to_dict_includes_timeliness_when_present(self):
+        hist = Histogram()
+        hist.add(50.0)
+        r = result(timeliness=hist)
+        payload = r.to_dict()
+        assert payload["timeliness_us"]["count"] == 1
+        assert payload["timeliness_us"]["mean"] == pytest.approx(50.0)
+
+    def test_to_dict_omits_empty_timeliness(self):
+        assert "timeliness_us" not in result().to_dict()

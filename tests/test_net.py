@@ -1,0 +1,106 @@
+"""Tests for the RDMA fabric and remote memory node."""
+
+import pytest
+
+from repro.net.rdma import FabricConfig, RdmaFabric
+from repro.net.remote import RemoteMemoryNode, RemoteReadError
+from tests.conftest import quiet_fabric
+
+
+class TestRdmaFabric:
+    def test_uncontended_read_latency(self):
+        fabric = RdmaFabric(quiet_fabric())
+        done = fabric.read_page(10.0)
+        assert done == pytest.approx(10.0 + 4.0)
+
+    def test_jitter_bounds(self):
+        fabric = RdmaFabric(FabricConfig(jitter_us=1.0, spike_probability=0.0))
+        for _ in range(100):
+            latency = fabric.read_page(0.0)
+            assert 4.0 <= latency <= 5.0 + fabric.page_service_us * 1000
+
+    def test_queueing_under_burst(self):
+        """Bulk transfers serialize on the link."""
+        fabric = RdmaFabric(quiet_fabric())
+        first = fabric.read_page(0.0)
+        tenth = None
+        for _ in range(9):
+            tenth = fabric.read_page(0.0)
+        assert tenth > first
+        assert tenth == pytest.approx(9 * fabric.page_service_us + 4.0)
+
+    def test_priority_reads_bypass_bulk_queue(self):
+        fabric = RdmaFabric(quiet_fabric())
+        for _ in range(50):
+            fabric.read_page(0.0)  # bulk backlog
+        demand = fabric.read_page(0.0, priority=True)
+        assert demand == pytest.approx(4.0)
+
+    def test_priority_occupies_shared_link(self):
+        fabric = RdmaFabric(quiet_fabric())
+        fabric.read_page(0.0, priority=True)
+        bulk = fabric.read_page(0.0)
+        assert bulk >= 4.0 + fabric.page_service_us
+
+    def test_spikes_inflate_latency(self):
+        always_spike = FabricConfig(
+            jitter_us=0.0, spike_probability=1.0, spike_factor=5.0
+        )
+        fabric = RdmaFabric(always_spike)
+        assert fabric.read_page(0.0) == pytest.approx(20.0)
+
+    def test_page_service_time_at_56gbps(self):
+        fabric = RdmaFabric(FabricConfig(gbps=56.0))
+        # 4 KB = 32768 bits at 56 Gb/s = ~0.585 us.
+        assert fabric.page_service_us == pytest.approx(32768 / 56_000)
+
+    def test_counters(self):
+        fabric = RdmaFabric(quiet_fabric())
+        fabric.read_page(0.0)
+        fabric.write_page(0.0)
+        assert fabric.reads == 1 and fabric.writes == 1
+        assert fabric.transfers == 2
+        assert fabric.bytes_moved == 2 * 4096
+
+    def test_deterministic_with_seed(self):
+        a = RdmaFabric(FabricConfig(seed=42))
+        b = RdmaFabric(FabricConfig(seed=42))
+        lat_a = [a.read_page(float(i)) for i in range(50)]
+        lat_b = [b.read_page(float(i)) for i in range(50)]
+        assert lat_a == lat_b
+
+
+class TestRemoteMemoryNode:
+    def test_write_read_roundtrip(self):
+        node = RemoteMemoryNode(capacity_pages=4)
+        node.write(0, 1, 100)
+        assert node.read(0) == (1, 100)
+        assert node.pages_stored == 1
+
+    def test_read_empty_slot_raises(self):
+        node = RemoteMemoryNode(capacity_pages=4)
+        with pytest.raises(RemoteReadError):
+            node.read(3)
+
+    def test_capacity_enforced(self):
+        node = RemoteMemoryNode(capacity_pages=1)
+        node.write(0, 1, 100)
+        with pytest.raises(MemoryError):
+            node.write(1, 1, 101)
+
+    def test_overwrite_same_slot_allowed_at_capacity(self):
+        node = RemoteMemoryNode(capacity_pages=1)
+        node.write(0, 1, 100)
+        node.write(0, 1, 200)
+        assert node.read(0) == (1, 200)
+
+    def test_release(self):
+        node = RemoteMemoryNode(capacity_pages=1)
+        node.write(0, 1, 100)
+        node.release(0)
+        assert not node.holds(0)
+        node.write(5, 2, 300)  # capacity freed
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RemoteMemoryNode(capacity_pages=0)

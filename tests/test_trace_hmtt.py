@@ -1,0 +1,90 @@
+"""Tests for the HMTT trace-capture emulation."""
+
+import pytest
+
+from repro.memsim.controller import MemoryController
+from repro.trace.hmtt import HmttTracer, TraceRing, replay
+
+
+class TestTraceRing:
+    def test_push_and_drain(self):
+        ring = TraceRing(capacity=4)
+        from repro.common.types import TraceRecord
+
+        for i in range(3):
+            ring.push(TraceRecord(i, i, False, i << 12), float(i))
+        assert len(ring) == 3
+        records = ring.drain()
+        assert [r.seq for r in records] == [0, 1, 2]
+        assert len(ring) == 0
+
+    def test_overflow_drops_oldest(self):
+        from repro.common.types import TraceRecord
+
+        ring = TraceRing(capacity=2)
+        for i in range(5):
+            ring.push(TraceRecord(i, i, False, 0), float(i))
+        assert ring.dropped == 3
+        assert ring.produced == 5
+        assert [r.seq for r in ring.drain()] == [3, 4]
+
+    def test_drain_limit(self):
+        from repro.common.types import TraceRecord
+
+        ring = TraceRing()
+        for i in range(10):
+            ring.push(TraceRecord(i, 0, False, 0), 0.0)
+        first = ring.drain(limit=4)
+        assert [r.seq for r in first] == [0, 1, 2, 3]
+        assert len(ring) == 6
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRing(capacity=0)
+
+
+class TestHmttTracer:
+    def test_records_mc_accesses(self):
+        mc = MemoryController()
+        tracer = HmttTracer()
+        tracer.attach(mc)
+        mc.access(1.5, 0x5040, is_write=False)
+        mc.access(2.5, 0x6040, is_write=True)
+        records = tracer.ring.drain()
+        assert len(records) == 2
+        assert records[0].paddr == 0x5040
+        assert records[0].ppn == 5
+        assert not records[0].is_write
+        assert records[1].is_write
+
+    def test_sequence_number_wraps_at_8_bits(self):
+        tracer = HmttTracer(ring=TraceRing(capacity=600))
+        for i in range(300):
+            tracer.on_access(float(i), i << 12, False)
+        records = tracer.ring.drain()
+        assert records[255].seq == 255
+        assert records[256].seq == 0  # 8-bit wrap, like the hardware
+
+    def test_timestamp_wraps_at_8_bits(self):
+        tracer = HmttTracer()
+        tracer.on_access(300.0, 0, False)
+        record = tracer.ring.drain()[0]
+        assert record.timestamp == 300 % 256
+
+    def test_reads_only_filter(self):
+        tracer = HmttTracer(reads_only=True)
+        tracer.on_access(0.0, 0x40, True)
+        tracer.on_access(0.0, 0x40, False)
+        assert len(tracer.ring) == 1
+
+    def test_sink_receives_records_immediately(self):
+        seen = []
+        tracer = HmttTracer(sink=lambda rec, ts: seen.append((rec.paddr, ts)))
+        tracer.on_access(7.0, 0x1000, False)
+        assert seen == [(0x1000, 7.0)]
+
+    def test_replay_yields_ppns(self):
+        tracer = HmttTracer()
+        tracer.on_access(0.0, 0x3000, False)
+        tracer.on_access(0.0, 0x4000, False)
+        assert list(replay(tracer.ring.drain())) == [3, 4]
