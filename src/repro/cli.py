@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.analysis.patterns import analyze_trace, page_sequence
 from repro.analysis.report import render_table
+from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import runner, systems
 from repro.trace.hmtt import HmttTracer
@@ -42,14 +43,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="local memory as a fraction of the footprint")
         p.add_argument("--seed", type=int, default=1)
 
+    def add_fault_args(p):
+        p.add_argument(
+            "--fault-plan", default=None, metavar="PLAN",
+            help="inject fabric/remote faults: 'chaos' (the hostile-"
+                 "fabric preset), 'chaos:<seed>', or a JSON plan file",
+        )
+
     run_parser = sub.add_parser("run", help="run one workload/system pair")
     add_run_args(run_parser)
+    add_fault_args(run_parser)
     run_parser.add_argument("--system", "-s", default="hopp")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the full result as JSON")
 
     compare_parser = sub.add_parser("compare", help="compare systems")
     add_run_args(compare_parser)
+    add_fault_args(compare_parser)
     compare_parser.add_argument(
         "--systems", default="fastswap,hopp",
         help="comma-separated system names",
@@ -82,6 +92,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_fault_plan(value: Optional[str], seed: int) -> Optional[FaultPlan]:
+    """Resolve a --fault-plan argument: a preset name or a JSON file."""
+    if value is None or value in ("", "none"):
+        return None
+    if value == "chaos":
+        return FaultPlan.chaos(seed)
+    if value.startswith("chaos:"):
+        raw_seed = value.split(":", 1)[1]
+        try:
+            return FaultPlan.chaos(int(raw_seed))
+        except ValueError:
+            raise ValueError(
+                f"bad --fault-plan seed {raw_seed!r}; expected chaos:<int>"
+            ) from None
+    return FaultPlan.from_json_file(value)
+
+
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name in workload_names():
@@ -95,8 +122,11 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
+    fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     ct_local = runner.local_completion_time(workload, fabric)
-    result = runner.run(workload, args.system, args.fraction, fabric)
+    result = runner.run(
+        workload, args.system, args.fraction, fabric, fault_plan
+    )
     if args.json:
         payload = result.to_dict()
         payload["normalized_performance"] = result.normalized_performance(ct_local)
@@ -115,6 +145,16 @@ def _cmd_run(args) -> int:
          f"{result.prefetch_hit_inflight}"],
         ["prefetched pages wasted", result.prefetch_wasted],
     ]
+    if fault_plan is not None:
+        rows += [
+            ["injected timeouts", result.timeouts],
+            ["demand/write retries", result.retries],
+            ["retry latency (us)", f"{result.retry_latency_us:.1f}"],
+            ["dropped prefetches", result.dropped_prefetches],
+            ["degraded-mode time (us)", f"{result.degraded_mode_us:.1f}"],
+            ["breaker opens / suppressed",
+             f"{result.breaker_opens}/{result.prefetch_suppressed}"],
+        ]
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
                              f"(local={args.fraction:.0%})"))
@@ -124,8 +164,11 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
+    fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
-    comparison = runner.compare(workload, names, args.fraction, fabric)
+    comparison = runner.compare(
+        workload, names, args.fraction, fabric, fault_plan
+    )
     rows = []
     for name in names:
         result = comparison.results[name]
@@ -222,7 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except KeyError as error:
+    except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.common.stats import Histogram
 from repro.common.types import PrefetchRequest
-from repro.hopp.policy import PolicyEngine
+from repro.hopp.policy import CircuitBreaker, PolicyEngine
 
 
 class PrefetchBackend(Protocol):
@@ -49,10 +49,15 @@ class ExecutionEngine:
         backend: PrefetchBackend,
         policy: Optional[PolicyEngine] = None,
         inject_pte: bool = True,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.backend = backend
         self.policy = policy
         self.inject_pte = inject_pte
+        #: Circuit breaker over the issue path (armed only under fault
+        #: injection); outcomes are fed by the machine's drop/timeout
+        #: callbacks through :meth:`on_fabric_drop`.
+        self.breaker = breaker
         #: Outstanding + resident prefetched pages awaiting first hit.
         self._records: Dict[Tuple[int, int], PrefetchRecord] = {}
         self.issued = 0
@@ -60,9 +65,14 @@ class ExecutionEngine:
         self.rejected = 0
         self.hits = 0
         self.wasted = 0
+        #: Requests dropped at the gate while the breaker was open.
+        self.suppressed = 0
+        #: Fabric-level drops (timeouts) observed on any prefetch path.
+        self.fabric_dropped = 0
         self.hits_by_tier: Dict[str, int] = {}
         self.issued_by_tier: Dict[str, int] = {}
         self.timeliness = Histogram()
+        self._drop_signal = False
 
     # -- issue path ------------------------------------------------------------------
 
@@ -74,13 +84,26 @@ class ExecutionEngine:
             if key in self._records:
                 self.duplicates += 1
                 continue
+            if self.breaker is not None and not self.breaker.allow(now_us):
+                self.suppressed += 1
+                continue
+            self._drop_signal = False
             arrival = self.backend.prefetch_page(
                 request.pid, request.vpn, now_us, self.inject_pte, request.tier
             )
             if arrival is None:
-                # Page already local / in flight — nothing to fetch.
-                self.rejected += 1
+                # Either nothing to fetch (already local / in flight) or
+                # a fabric drop; the machine reports drops synchronously
+                # through on_fabric_drop, which sets the signal flag.
+                if not self._drop_signal:
+                    self.rejected += 1
+                    if self.breaker is not None:
+                        # No transfer happened, so the probe (if any)
+                        # observed nothing — give it back.
+                        self.breaker.refund_probe()
                 continue
+            if self.breaker is not None:
+                self.breaker.record_success(now_us, arrival - now_us)
             self._records[key] = PrefetchRecord(
                 tier=request.tier,
                 stream_id=request.stream_id,
@@ -122,6 +145,15 @@ class ExecutionEngine:
         an inaccurate prefetch that wasted bandwidth and DRAM."""
         if self._records.pop((pid, vpn), None) is not None:
             self.wasted += 1
+
+    def on_fabric_drop(self, now_us: float) -> None:
+        """The machine observed an injected fabric failure (a dropped
+        prefetch, or a demand-read timeout): feed the breaker so issue
+        throttles while the fabric is hostile."""
+        self._drop_signal = True
+        self.fabric_dropped += 1
+        if self.breaker is not None:
+            self.breaker.record_failure(now_us)
 
     # -- metrics ---------------------------------------------------------------------------
 

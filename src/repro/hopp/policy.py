@@ -11,12 +11,20 @@ Two knobs tune aggressiveness and timeliness per stream:
   T < T_min means the page nearly arrived late, so prefetch further
   (i *= 1 + alpha); T > T_max wastes local memory, so prefetch closer
   (i *= 1 - alpha).
+
+A third mechanism protects the fabric itself: the
+:class:`CircuitBreaker` watches per-prefetch outcomes (drops, timeouts,
+latency inflation) and suspends prefetch issue when the fabric turns
+hostile, re-opening through a half-open probe phase after a cool-down —
+demand faults keep their priority lane while speculative traffic backs
+off.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.constants import (
     POLICY_ALPHA,
@@ -39,6 +47,151 @@ class PolicyConfig:
     #: When False the offset never adapts (the fixed-offset arms of
     #: Figure 22).
     adaptive: bool = True
+
+
+@dataclass
+class BreakerConfig:
+    """Knobs of the prefetch circuit breaker.
+
+    The breaker opens (suspends prefetch issue) when, over the last
+    ``window`` recorded outcomes (with at least ``min_samples`` of
+    them), the failure fraction reaches ``failure_threshold``.  A
+    fetch that completes but takes longer than ``latency_threshold_us``
+    counts as a failure too — that is how pure latency-degradation
+    epochs (no drops) still trip the breaker.  After ``cooldown_us`` the
+    breaker half-opens and lets ``probe_quota`` probes through: the
+    first success closes it, a failure re-opens it.
+    """
+
+    enabled: bool = True
+    window: int = 32
+    min_samples: int = 8
+    failure_threshold: float = 0.5
+    latency_threshold_us: float = 200.0
+    cooldown_us: float = 2_000.0
+    probe_quota: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.cooldown_us <= 0 or self.probe_quota < 1:
+            raise ValueError("cooldown_us must be > 0 and probe_quota >= 1")
+
+
+class BreakerState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker over the prefetch issue path."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at_us = 0.0
+        self._reopen_at_us = 0.0
+        self._probes_left = 0
+        self.opens = 0
+        self.closes = 0
+        self._degraded_total_us = 0.0
+
+    # -- issue gate -------------------------------------------------------------------
+
+    def allow(self, now_us: float) -> bool:
+        """May this prefetch go out at ``now_us``?"""
+        if self.state == BreakerState.CLOSED:
+            return True
+        if self.state == BreakerState.OPEN:
+            if now_us < self._reopen_at_us:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probes_left = self.config.probe_quota
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        return False
+
+    # -- outcome feed -----------------------------------------------------------------
+
+    def record_success(self, now_us: float, latency_us: Optional[float] = None) -> None:
+        slow = (
+            latency_us is not None
+            and latency_us > self.config.latency_threshold_us
+        )
+        if self.state == BreakerState.HALF_OPEN:
+            if slow:
+                self._reopen(now_us)
+            else:
+                self._close(now_us)
+            return
+        self._record(now_us, ok=not slow)
+
+    def record_failure(self, now_us: float) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self._reopen(now_us)
+            return
+        self._record(now_us, ok=False)
+
+    def refund_probe(self) -> None:
+        """A granted probe produced no transfer at all (the backend had
+        nothing to fetch).  That neither confirms nor refutes recovery,
+        so return the slot — otherwise no-op probes exhaust the quota
+        and the breaker wedges in HALF_OPEN forever."""
+        if self.state == BreakerState.HALF_OPEN:
+            self._probes_left += 1
+
+    # -- observability ----------------------------------------------------------------
+
+    def time_degraded_us(self, now_us: float) -> float:
+        """Total simulated time spent OPEN or HALF_OPEN so far."""
+        total = self._degraded_total_us
+        if self.state != BreakerState.CLOSED:
+            total += max(now_us - self._opened_at_us, 0.0)
+        return total
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # -- transitions ------------------------------------------------------------------
+
+    def _record(self, now_us: float, ok: bool) -> None:
+        if self.state != BreakerState.CLOSED:
+            return
+        self._outcomes.append(ok)
+        if (
+            len(self._outcomes) >= self.config.min_samples
+            and self.failure_rate >= self.config.failure_threshold
+        ):
+            self._open(now_us)
+
+    def _open(self, now_us: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opens += 1
+        self._opened_at_us = now_us
+        self._reopen_at_us = now_us + self.config.cooldown_us
+        self._outcomes.clear()
+
+    def _reopen(self, now_us: float) -> None:
+        """A half-open probe failed: back to OPEN, degraded span continues."""
+        self.state = BreakerState.OPEN
+        self.opens += 1
+        self._reopen_at_us = now_us + self.config.cooldown_us
+        self._probes_left = 0
+
+    def _close(self, now_us: float) -> None:
+        self._degraded_total_us += max(now_us - self._opened_at_us, 0.0)
+        self.state = BreakerState.CLOSED
+        self.closes += 1
+        self._outcomes.clear()
+        self._probes_left = 0
 
 
 class PolicyEngine:

@@ -18,7 +18,12 @@ from typing import Optional
 
 from repro.hopp.executor import ExecutionEngine, PrefetchBackend
 from repro.hopp.hpd import HotPageDetector
-from repro.hopp.policy import PolicyConfig, PolicyEngine
+from repro.hopp.policy import (
+    BreakerConfig,
+    CircuitBreaker,
+    PolicyConfig,
+    PolicyEngine,
+)
 from repro.hopp.rpt import ReversePageTable, RptCache, RptMaintainer
 from repro.hopp.stt import StreamTrainingTable
 from repro.hopp.three_tier import ThreeTierTrainer, TierConfig
@@ -49,6 +54,10 @@ class HoppConfig:
     #: Early PTE injection (Section III-F); off -> prefetches land in the
     #: swapcache like Fastswap's.
     inject_pte: bool = True
+    #: Prefetch circuit breaker (degraded-mode throttling).  Armed only
+    #: when the machine runs with a fault plan, so clean runs are
+    #: bit-identical with or without it.
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
     #: Section IV huge-page extension: long unit-stride streams graduate
     #: to one 512-page batch request per 2 MB region.
     hugepage_enabled: bool = False
@@ -95,8 +104,17 @@ class HoppDataPlane:
                 f"unknown trainer {cfg.trainer!r}; use 'three-tier' or 'learned'"
             )
         self.policy = PolicyEngine(cfg.policy)
+        # The breaker only arms when the backend actually injects faults
+        # (Machine.faults); a clean run never records an outcome, so the
+        # extra branch cannot perturb baseline numbers.
+        breaker = None
+        if cfg.breaker.enabled and getattr(backend, "faults", None) is not None:
+            breaker = CircuitBreaker(cfg.breaker)
         self.executor = ExecutionEngine(
-            backend, policy=self.policy, inject_pte=cfg.inject_pte
+            backend,
+            policy=self.policy,
+            inject_pte=cfg.inject_pte,
+            breaker=breaker,
         )
         self.batcher = None
         if cfg.hugepage_enabled:
@@ -162,3 +180,15 @@ class HoppDataPlane:
 
     def on_page_evicted(self, pid: int, vpn: int) -> None:
         self.executor.on_evicted_unused(pid, vpn)
+
+    # -- fault-injection visibility ------------------------------------------------------
+
+    def on_prefetch_dropped(self, now_us: float) -> None:
+        """A prefetch READ (any tier, any issue path) lost its completion
+        to an injected fault: count it and trip the breaker toward open."""
+        self.executor.on_fabric_drop(now_us)
+
+    def on_fabric_timeout(self, now_us: float) -> None:
+        """A demand READ timed out (it will be retried with backoff);
+        the breaker treats it as evidence the fabric is hostile."""
+        self.executor.on_fabric_drop(now_us)

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.common.constants import PAGE_SIZE, T_RDMA_PAGE_US
 from repro.common.stats import RunningStat
+from repro.net.faults import FaultInjector
 
 
 @dataclass
@@ -37,6 +38,24 @@ class FabricConfig:
     gbps: float = 56.0
     seed: int = 1
 
+    def __post_init__(self) -> None:
+        if self.base_latency_us < 0:
+            raise ValueError(
+                f"base_latency_us must be >= 0, got {self.base_latency_us}"
+            )
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us}")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError(
+                f"spike_probability must be in [0, 1], got {self.spike_probability}"
+            )
+        if self.spike_factor < 1.0:
+            raise ValueError(
+                f"spike_factor must be >= 1, got {self.spike_factor}"
+            )
+        if self.gbps <= 0:
+            raise ValueError(f"gbps must be > 0, got {self.gbps}")
+
 
 class RdmaFabric:
     """Issues page-sized READs/WRITEs and returns their completion time.
@@ -47,8 +66,13 @@ class RdmaFabric:
     propagation (base + jitter + spikes) + queueing.
     """
 
-    def __init__(self, config: Optional[FabricConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[FabricConfig] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         self.config = config or FabricConfig()
+        self.injector = injector
         self._rng = random.Random(self.config.seed)
         # Time the link becomes free for the next bulk transfer.
         self._link_free_at_us = 0.0
@@ -66,11 +90,13 @@ class RdmaFabric:
         bits = PAGE_SIZE * 8
         return bits / (self.config.gbps * 1e3)  # Gbps -> bits/us
 
-    def _propagation_us(self) -> float:
+    def _propagation_us(self, now_us: float) -> float:
         cfg = self.config
         latency = cfg.base_latency_us + self._rng.uniform(0.0, cfg.jitter_us)
         if cfg.spike_probability and self._rng.random() < cfg.spike_probability:
             latency *= cfg.spike_factor
+        if self.injector is not None:
+            latency *= self.injector.latency_factor(now_us)
         return latency
 
     def read_page(self, now_us: float, priority: bool = False) -> float:
@@ -78,8 +104,16 @@ class RdmaFabric:
 
         ``priority`` marks demand-fault reads, which use their own queue
         pair and therefore only contend with other demand reads.
+
+        With a fault injector armed, raises
+        :class:`~repro.net.faults.TransferTimeout` when the transfer's
+        completion is dropped; the attempt still counts as wire traffic.
         """
         self.reads += 1
+        if self.injector is not None:
+            self.injector.check_transfer(
+                now_us, "demand" if priority else "prefetch"
+            )
         return self._transfer(now_us, priority)
 
     def read_batch(self, now_us: float, npages: int):
@@ -91,9 +125,11 @@ class RdmaFabric:
         if npages < 1:
             raise ValueError("npages must be >= 1")
         self.reads += npages
+        if self.injector is not None:
+            self.injector.check_transfer(now_us, "prefetch")
         start = max(now_us, self._link_free_at_us)
         self._link_free_at_us = start + npages * self.page_service_us
-        first_byte = start + self._propagation_us()
+        first_byte = start + self._propagation_us(now_us)
         arrivals = [
             first_byte + (i + 1) * self.page_service_us for i in range(npages)
         ]
@@ -103,6 +139,8 @@ class RdmaFabric:
     def write_page(self, now_us: float) -> float:
         """Issue a 4 KB WRITE (reclaim writeback); returns completion."""
         self.writes += 1
+        if self.injector is not None:
+            self.injector.check_transfer(now_us, "write")
         return self._transfer(now_us, priority=False)
 
     def _transfer(self, now_us: float, priority: bool) -> float:
@@ -114,7 +152,7 @@ class RdmaFabric:
         else:
             start = max(now_us, self._link_free_at_us)
             self._link_free_at_us = start + self.page_service_us
-        done = start + self._propagation_us()
+        done = start + self._propagation_us(now_us)
         self.latency_stat.add(done - now_us)
         return done
 

@@ -4,11 +4,21 @@ The paper's memory node is a passive RDMA target (6 x 8 GB DRAM); here it
 is a capacity-bounded page store keyed by swap slot.  Reads of a slot that
 was never written raise — a real one-sided RDMA READ of an unwritten
 region would return garbage, and in the simulator that is always a bug.
+
+With a :class:`~repro.net.faults.FaultInjector` armed, reads and writes
+inside a remote-restart window raise
+:class:`~repro.net.faults.RemoteUnavailableError`, and slot accounting
+(`pages_written` / `pages_overwritten` / `pages_released`) is kept so
+slot leaks are visible: at any moment
+
+    pages_written == pages_stored + pages_overwritten + pages_released
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
+
+from repro.net.faults import FaultInjector
 
 
 class RemoteReadError(KeyError):
@@ -16,25 +26,38 @@ class RemoteReadError(KeyError):
 
 
 class RemoteMemoryNode:
-    def __init__(self, capacity_pages: int) -> None:
+    def __init__(
+        self,
+        capacity_pages: int,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
         if capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1")
         self.capacity_pages = capacity_pages
+        self.injector = injector
         self._slots: Dict[int, Tuple[int, int]] = {}
         self.pages_written = 0
         self.pages_read = 0
+        self.pages_overwritten = 0
+        self.pages_released = 0
 
-    def write(self, slot: int, pid: int, vpn: int) -> None:
+    def write(
+        self, slot: int, pid: int, vpn: int, now_us: Optional[float] = None
+    ) -> None:
         """Store page (pid, vpn) at ``slot`` (reclaim writeback)."""
+        self._check_available(now_us)
         if slot not in self._slots and len(self._slots) >= self.capacity_pages:
             raise MemoryError(
                 f"remote node full ({self.capacity_pages} pages)"
             )
+        if slot in self._slots:
+            self.pages_overwritten += 1
         self._slots[slot] = (pid, vpn)
         self.pages_written += 1
 
-    def read(self, slot: int) -> Tuple[int, int]:
+    def read(self, slot: int, now_us: Optional[float] = None) -> Tuple[int, int]:
         """Fetch the page at ``slot`` (demand fault or prefetch)."""
+        self._check_available(now_us)
         page = self._slots.get(slot)
         if page is None:
             raise RemoteReadError(f"slot {slot} holds no page")
@@ -43,7 +66,8 @@ class RemoteMemoryNode:
 
     def release(self, slot: int) -> None:
         """Free a slot once its page was faulted back and re-dirtied."""
-        self._slots.pop(slot, None)
+        if self._slots.pop(slot, None) is not None:
+            self.pages_released += 1
 
     def holds(self, slot: int) -> bool:
         return slot in self._slots
@@ -51,3 +75,8 @@ class RemoteMemoryNode:
     @property
     def pages_stored(self) -> int:
         return len(self._slots)
+
+    def _check_available(self, now_us: Optional[float]) -> None:
+        """Restart windows: the node answers nothing for their duration."""
+        if self.injector is not None and now_us is not None:
+            self.injector.check_remote(now_us)

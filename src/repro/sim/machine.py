@@ -36,6 +36,12 @@ from repro.kernel.reclaim import LruPageList, Reclaimer
 from repro.kernel.swap import SwapCache, SwapSpace
 from repro.kernel.vma import VmaRegistry
 from repro.memsim.controller import MemoryController
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    RemoteFetchFatalError,
+    TransferTimeout,
+)
 from repro.net.rdma import FabricConfig, RdmaFabric
 from repro.net.remote import RemoteMemoryNode
 
@@ -63,6 +69,15 @@ class MachineConfig:
     #: Application compute time per LLC-miss access (us), taken from the
     #: workload; it sets how much memory latency overlaps with work.
     compute_us_per_access: float = 0.0
+    #: Fault-injection schedule; None (or an empty plan) leaves the
+    #: remote-memory path byte-identical to the unhooked simulator.
+    fault_plan: Optional[FaultPlan] = None
+    #: Retry budget for synchronous transfers (demand reads, reclaim
+    #: writebacks).  Prefetch reads are never retried — they are dropped.
+    demand_retry_limit: int = 8
+    #: Exponential backoff between retries: base * multiplier ** attempt.
+    retry_backoff_us: float = 25.0
+    retry_backoff_multiplier: float = 2.0
 
 
 class Machine:
@@ -79,8 +94,14 @@ class Machine:
         self.hopp = hopp
         self.now_us = 0.0
 
-        self.fabric = RdmaFabric(config.fabric)
-        self.remote = RemoteMemoryNode(config.remote_capacity_pages)
+        plan = config.fault_plan
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(plan) if plan is not None and not plan.is_empty else None
+        )
+        self.fabric = RdmaFabric(config.fabric, injector=self.faults)
+        self.remote = RemoteMemoryNode(
+            config.remote_capacity_pages, injector=self.faults
+        )
         self.frames = FrameAllocator(total_frames=1 << 24)
         self.swap_space = SwapSpace()
         self.swapcache = SwapCache()
@@ -115,6 +136,12 @@ class Machine:
         self.breakdown = FaultBreakdown()
         self.peak_resident_pages = 0
         self.compute_us = 0.0
+        # Fault-injection counters (all exactly 0 without a fault plan).
+        self.timeouts = 0
+        self.retries = 0
+        self.retry_latency_us = 0.0
+        self.dropped_prefetches = 0
+        self.dropped_by_tier: Dict[str, int] = {}
 
         if hopp is not None:
             self.controller.add_tap(hopp.on_mc_access)
@@ -152,6 +179,14 @@ class Machine:
 
     def page_table(self, pid: int) -> PageTable:
         return self._page_tables[pid]
+
+    def resident_pages(self, cgroup: Optional[str] = None) -> int:
+        """Physical pages resident for ``cgroup`` (including uncharged
+        prefetch pages and in-flight fetches), or across every cgroup
+        when called without an argument."""
+        if cgroup is None:
+            return sum(self._resident.values())
+        return self._resident[cgroup]
 
     # -- main entry: one LLC-miss reference -------------------------------------------
 
@@ -253,9 +288,12 @@ class Machine:
         self._note_peak()
         ppn = self.frames.allocate(pid, vpn)
         pte.ppn = ppn
-        completion = self.fabric.read_page(self.now_us, priority=True)
-        rdma_wait = completion - self.now_us
         slot = pte.swap_slot
+        if self.faults is None:
+            completion = self.fabric.read_page(self.now_us, priority=True)
+            rdma_wait = completion - self.now_us
+        else:
+            rdma_wait = self._demand_fetch_resilient(pid, vpn, slot)
         table.map_page(vpn, ppn)
         self._release_remote_copy(pid, vpn, slot)
         self._lru_of_pid(pid).insert(pid, vpn)
@@ -289,6 +327,40 @@ class Machine:
             self.breakdown.remote_fault_us += issue_cost
         return cost
 
+    def _demand_fetch_resilient(self, pid: int, vpn: int, slot: int) -> float:
+        """Demand READ with bounded exponential-backoff retries.
+
+        Each dropped completion costs its CQE-timeout wait plus a
+        growing backoff; the retry re-issues at the advanced time, which
+        is what lets it escape link-down and restart windows.  Returns
+        the total wait charged to the fault (retries + final transfer +
+        any remote stall); raises ``RemoteFetchFatalError`` once the
+        budget is exhausted.
+        """
+        waited = 0.0
+        attempts = 0
+        while True:
+            t = self.now_us + waited
+            try:
+                completion = self.fabric.read_page(t, priority=True)
+                if slot is not None and slot >= 0:
+                    self.remote.read(slot, now_us=t)
+                stall = self.faults.remote_delay_us(t)
+                return waited + (completion - t) + stall
+            except TransferTimeout as fault:
+                self.timeouts += 1
+                attempts += 1
+                if self.hopp is not None:
+                    self.hopp.on_fabric_timeout(t)
+                if attempts > self.config.demand_retry_limit:
+                    raise RemoteFetchFatalError(pid, vpn, attempts) from fault
+                self.retries += 1
+                backoff = self.config.retry_backoff_us * (
+                    self.config.retry_backoff_multiplier ** (attempts - 1)
+                )
+                waited += fault.wasted_us + backoff
+                self.retry_latency_us += fault.wasted_us + backoff
+
     # -- the prefetch backend (HoPP executor + fault-time baselines) ------------------
 
     def prefetch_page(
@@ -307,9 +379,29 @@ class Machine:
         cgroup = self._cgroup_of[pid]
         cgroup.charge(1, prefetch=True)
         self._resident[cgroup.name] += 1
-        self._note_peak()
         pte.ppn = self.frames.allocate(pid, vpn)
-        completion = self.fabric.read_page(now_us)
+        try:
+            completion = self.fabric.read_page(now_us)
+            if self.faults is not None:
+                if pte.swap_slot is not None and pte.swap_slot >= 0:
+                    self.remote.read(pte.swap_slot, now_us=now_us)
+                completion += self.faults.remote_delay_us(now_us)
+        except TransferTimeout:
+            # Prefetches are speculative: never retried, dropped with
+            # full bookkeeping cleanup so every counter still conserves.
+            self.frames.free(pte.ppn)
+            pte.ppn = -1
+            cgroup.uncharge(1, prefetch=True)
+            self._resident[cgroup.name] -= 1
+            self.timeouts += 1
+            self.prefetch_issued += 1
+            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + 1
+            self.dropped_prefetches += 1
+            self.dropped_by_tier[tier] = self.dropped_by_tier.get(tier, 0) + 1
+            if self.hopp is not None:
+                self.hopp.on_prefetch_dropped(now_us)
+            return None
+        self._note_peak()
         pte.state = PteState.INFLIGHT
         pte.prefetched = True
         pte.prefetch_tier = tier
@@ -344,7 +436,24 @@ class Machine:
         ]
         if not fetchable:
             return None
-        arrivals = self.fabric.read_batch(now_us, len(fetchable))
+        try:
+            arrivals = self.fabric.read_batch(now_us, len(fetchable))
+            if self.faults is not None:
+                self.faults.check_remote(now_us)
+        except TransferTimeout:
+            # The whole scatter-gather request lost its completion; drop
+            # every page in it (nothing was charged or allocated yet).
+            count = len(fetchable)
+            self.timeouts += 1
+            self.prefetch_issued += count
+            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + count
+            self.dropped_prefetches += count
+            self.dropped_by_tier[tier] = (
+                self.dropped_by_tier.get(tier, 0) + count
+            )
+            if self.hopp is not None:
+                self.hopp.on_prefetch_dropped(now_us)
+            return None
         cgroup = self._cgroup_of[pid]
         for vpn, arrival in zip(fetchable, arrivals):
             self._ensure_headroom(pid)
@@ -457,8 +566,11 @@ class Machine:
             ppn = pte.ppn
             table.unmap_page(vpn)
             slot = self.swap_space.allocate(pid, vpn)
-            self.remote.write(slot, pid, vpn)
-            self.fabric.write_page(self.now_us)
+            if self.faults is None:
+                self.remote.write(slot, pid, vpn)
+                self.fabric.write_page(self.now_us)
+            else:
+                self._writeback_resilient(slot, pid, vpn)
             pte.swap_slot = slot
             self.frames.free(ppn)
             pte.ppn = -1
@@ -483,6 +595,30 @@ class Machine:
             ):
                 self.fault_prefetcher.on_prefetch_wasted(pid, vpn)
         return clean
+
+    def _writeback_resilient(self, slot: int, pid: int, vpn: int) -> None:
+        """Reclaim writeback with bounded retries.  Writebacks are
+        asynchronous (off the application's critical path), so retries
+        only advance the transfer's issue time, not ``now_us``; losing
+        the page is not an option, so budget exhaustion is fatal."""
+        waited = 0.0
+        attempts = 0
+        while True:
+            t = self.now_us + waited
+            try:
+                self.fabric.write_page(t)
+                self.remote.write(slot, pid, vpn, now_us=t)
+                return
+            except TransferTimeout as fault:
+                self.timeouts += 1
+                attempts += 1
+                if attempts > self.config.demand_retry_limit:
+                    raise RemoteFetchFatalError(pid, vpn, attempts) from fault
+                self.retries += 1
+                backoff = self.config.retry_backoff_us * (
+                    self.config.retry_backoff_multiplier ** (attempts - 1)
+                )
+                waited += fault.wasted_us + backoff
 
     # -- helpers ------------------------------------------------------------------------
 

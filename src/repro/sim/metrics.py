@@ -43,6 +43,21 @@ class RunResult:
     fabric_writes: int = 0
     reclaim_pages: int = 0
     peak_resident_pages: int = 0
+    #: Fault-injection observability (all exactly 0 without a fault plan).
+    #: Injected transfer timeouts observed (demand, prefetch, and write).
+    timeouts: int = 0
+    #: Retry attempts on synchronous transfers (demand reads, writebacks).
+    retries: int = 0
+    #: Critical-path latency spent waiting out timeouts and backoff.
+    retry_latency_us: float = 0.0
+    #: Prefetch reads dropped by injected faults (never retried).
+    dropped_prefetches: int = 0
+    dropped_by_tier: Dict[str, int] = field(default_factory=dict)
+    #: Simulated time the prefetch circuit breaker spent open/half-open.
+    degraded_mode_us: float = 0.0
+    breaker_opens: int = 0
+    #: Prefetch requests suppressed at the breaker gate while degraded.
+    prefetch_suppressed: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -56,8 +71,17 @@ class RunResult:
         )
 
     @property
+    def prefetch_delivered(self) -> int:
+        """Prefetched pages that actually arrived — issue attempts minus
+        the ones injected faults dropped on the wire."""
+        return self.prefetch_issued - self.dropped_prefetches
+
+    @property
     def accuracy(self) -> float:
-        return safe_ratio(self.prefetch_hits, self.prefetch_issued)
+        """Prediction quality over *delivered* prefetches: an injected
+        fabric drop is bad luck, not a wrong prediction, so it must not
+        corrupt the paper's accuracy metric."""
+        return safe_ratio(self.prefetch_hits, self.prefetch_delivered)
 
     @property
     def coverage(self) -> float:
@@ -98,7 +122,8 @@ class RunResult:
 
     def tier_accuracy(self, tier: str) -> float:
         return safe_ratio(
-            self.hits_by_tier.get(tier, 0), self.issued_by_tier.get(tier, 0)
+            self.hits_by_tier.get(tier, 0),
+            self.issued_by_tier.get(tier, 0) - self.dropped_by_tier.get(tier, 0),
         )
 
     def tier_coverage(self, tier: str) -> float:
@@ -131,6 +156,14 @@ class RunResult:
             "fabric_writes": self.fabric_writes,
             "reclaim_pages": self.reclaim_pages,
             "peak_resident_pages": self.peak_resident_pages,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "retry_latency_us": self.retry_latency_us,
+            "dropped_prefetches": self.dropped_prefetches,
+            "dropped_by_tier": dict(self.dropped_by_tier),
+            "degraded_mode_us": self.degraded_mode_us,
+            "breaker_opens": self.breaker_opens,
+            "prefetch_suppressed": self.prefetch_suppressed,
             "accuracy": self.accuracy,
             "coverage": self.coverage,
             "page_faults": self.page_faults,

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import systems as systems_mod
 from repro.sim.machine import Machine, MachineConfig
@@ -29,6 +30,7 @@ def make_machine(
     system: Union[str, SystemSpec],
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -40,6 +42,7 @@ def make_machine(
         local_memory_pages=limit,
         fabric=fabric or FabricConfig(),
         compute_us_per_access=workload.compute_us_per_access,
+        fault_plan=fault_plan,
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -71,9 +74,20 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         fabric_writes=machine.fabric.writes,
         reclaim_pages=machine.reclaimer.stats.pages_reclaimed,
         peak_resident_pages=machine.peak_resident_pages,
+        timeouts=machine.timeouts,
+        retries=machine.retries,
+        retry_latency_us=machine.retry_latency_us,
+        dropped_prefetches=machine.dropped_prefetches,
+        dropped_by_tier=dict(machine.dropped_by_tier),
     )
     if machine.hopp is not None:
         plane = machine.hopp
+        if plane.executor.breaker is not None:
+            result.degraded_mode_us = plane.executor.breaker.time_degraded_us(
+                machine.now_us
+            )
+            result.breaker_opens = plane.executor.breaker.opens
+            result.prefetch_suppressed = plane.executor.suppressed
         result.timeliness = plane.executor.timeliness
         result.extra.update(
             {
@@ -92,10 +106,13 @@ def run(
     system: Union[str, SystemSpec] = "hopp",
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point."""
     spec = _resolve(system)
-    machine = make_machine(workload, spec, local_memory_fraction, fabric)
+    machine = make_machine(
+        workload, spec, local_memory_fraction, fabric, fault_plan
+    )
     machine.run(workload.trace())
     return collect(machine, spec.name, workload.name)
 
@@ -128,14 +145,19 @@ def compare(
     system_names: Iterable[str],
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Comparison:
-    """Run one workload under several systems on identical traces."""
+    """Run one workload under several systems on identical traces.
+
+    ``fault_plan`` applies to the systems under test, never to the
+    CT_local reference (degraded hardware is the condition being
+    measured, not the yardstick)."""
     comparison = Comparison(
         workload=workload.name,
         ct_local_us=local_completion_time(workload, fabric),
     )
     for name in system_names:
         comparison.results[name] = run(
-            workload, name, local_memory_fraction, fabric
+            workload, name, local_memory_fraction, fabric, fault_plan
         )
     return comparison

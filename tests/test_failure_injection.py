@@ -24,8 +24,8 @@ class TestTinyMemory:
         )
         machine.register_process(1)
         touch_pages(machine, 1, list(range(200)) * 2)
-        assert machine._resident["default"] <= 8
-        assert machine.frames.used == machine._resident["default"]
+        assert machine.resident_pages("default") <= 8
+        assert machine.frames.used == machine.resident_pages("default")
         assert machine.remote_demand_reads + machine.prefetch_issued > 0
 
     def test_limit_one_page_degenerate(self):
@@ -35,7 +35,7 @@ class TestTinyMemory:
         )
         machine.register_process(1)
         touch_pages(machine, 1, [0, 1, 0, 1, 0])
-        assert machine._resident["default"] <= 2  # one in, one being placed
+        assert machine.resident_pages("default") <= 2  # one in, one being placed
 
     def test_depthn_with_tiny_memory_does_not_deadlock(self):
         machine = Machine(

@@ -73,7 +73,7 @@ class TestEvictionAndMajorFault:
     def test_residency_bounded_by_limit(self):
         machine = make_machine(limit=16)
         touch_pages(machine, 1, range(100))
-        resident = machine._resident["default"]
+        resident = machine.resident_pages("default")
         assert resident <= 16
 
     def test_lru_eviction_order_is_coldest_first(self):
@@ -208,7 +208,7 @@ class TestConservation:
     def test_frames_match_residency(self, vpns):
         machine = make_machine(limit=12, prefetcher=FastswapPrefetcher())
         touch_pages(machine, 1, vpns)
-        assert machine.frames.used == sum(machine._resident.values())
+        assert machine.frames.used == machine.resident_pages()
         assert machine.prefetch_issued >= machine.prefetch_wasted
 
     @given(st.lists(st.integers(0, 40), min_size=1, max_size=300))
@@ -232,7 +232,7 @@ class TestMultiProcess:
         # Process 2's pages are untouched by process 1's thrashing.
         touch_pages(machine, 2, range(1000, 1004))
         assert machine.page_state(2, 1000) == PteState.PRESENT
-        assert machine._resident["a"] <= 8
+        assert machine.resident_pages("a") <= 8
 
     def test_duplicate_pid_rejected(self):
         machine = make_machine()

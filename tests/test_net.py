@@ -70,6 +70,40 @@ class TestRdmaFabric:
         assert lat_a == lat_b
 
 
+class TestFabricConfigValidation:
+    def test_zero_bandwidth_rejected(self):
+        """gbps=0 used to crash later with ZeroDivisionError in
+        page_service_us; it must fail loudly at construction."""
+        with pytest.raises(ValueError):
+            FabricConfig(gbps=0.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(gbps=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(jitter_us=-0.1)
+
+    def test_spike_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(spike_probability=1.5)
+        with pytest.raises(ValueError):
+            FabricConfig(spike_probability=-0.01)
+
+    def test_spike_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(spike_factor=0.5)
+
+    def test_negative_base_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(base_latency_us=-1.0)
+
+    def test_valid_config_accepted(self):
+        config = FabricConfig(gbps=0.5, jitter_us=0.0, spike_probability=0.0)
+        assert RdmaFabric(config).page_service_us > 0
+
+
 class TestRemoteMemoryNode:
     def test_write_read_roundtrip(self):
         node = RemoteMemoryNode(capacity_pages=4)
@@ -104,3 +138,35 @@ class TestRemoteMemoryNode:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             RemoteMemoryNode(capacity_pages=0)
+
+    def test_release_and_overwrite_accounting(self):
+        node = RemoteMemoryNode(capacity_pages=4)
+        node.write(0, 1, 100)
+        node.write(1, 1, 101)
+        node.write(0, 1, 102)  # overwrite
+        node.release(1)
+        node.release(1)  # double release is a no-op, not double-counted
+        assert node.pages_written == 3
+        assert node.pages_overwritten == 1
+        assert node.pages_released == 1
+        assert node.pages_stored == 1
+
+    def test_slot_conservation_invariant(self):
+        """written == stored + overwritten + released, so slot leaks are
+        visible as a broken equality rather than silent growth."""
+        import random
+
+        node = RemoteMemoryNode(capacity_pages=16)
+        rng = random.Random(3)
+        for step in range(500):
+            slot = rng.randrange(24)
+            if rng.random() < 0.6:
+                try:
+                    node.write(slot, 1, step)
+                except MemoryError:
+                    node.release(rng.choice(list(node._slots)))
+            else:
+                node.release(slot)
+            assert node.pages_written == (
+                node.pages_stored + node.pages_overwritten + node.pages_released
+            )

@@ -62,8 +62,8 @@ class TestPipelineInvariants:
         )
         # Residency never exceeds the cgroup limit.
         limit = machine.cgroups.get("default").limit_pages
-        assert machine._resident["default"] <= limit
-        assert machine.frames.used == machine._resident["default"]
+        assert machine.resident_pages("default") <= limit
+        assert machine.frames.used == machine.resident_pages("default")
 
     @given(segments)
     @settings(max_examples=15, deadline=None)
