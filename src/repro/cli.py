@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.analysis.patterns import analyze_trace, page_sequence
 from repro.analysis.report import render_table
+from repro.cluster import ClusterConfig, placement_names
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import runner, systems
@@ -50,9 +51,26 @@ def _build_parser() -> argparse.ArgumentParser:
                  "fabric preset), 'chaos:<seed>', or a JSON plan file",
         )
 
+    def add_cluster_args(p):
+        p.add_argument(
+            "--remote-nodes", type=int, default=1, metavar="N",
+            help="memory nodes in the remote pool, each behind its own "
+                 "link (default 1 = the paper's single-node testbed)",
+        )
+        p.add_argument(
+            "--placement", default="interleave",
+            choices=placement_names(),
+            help="page placement policy across nodes",
+        )
+        p.add_argument(
+            "--replication", type=int, default=1, metavar="R",
+            help="copies per page (R > 1 enables demand-read failover)",
+        )
+
     run_parser = sub.add_parser("run", help="run one workload/system pair")
     add_run_args(run_parser)
     add_fault_args(run_parser)
+    add_cluster_args(run_parser)
     run_parser.add_argument("--system", "-s", default="hopp")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the full result as JSON")
@@ -60,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser = sub.add_parser("compare", help="compare systems")
     add_run_args(compare_parser)
     add_fault_args(compare_parser)
+    add_cluster_args(compare_parser)
     compare_parser.add_argument(
         "--systems", default="fastswap,hopp",
         help="comma-separated system names",
@@ -109,12 +128,25 @@ def _load_fault_plan(value: Optional[str], seed: int) -> Optional[FaultPlan]:
     return FaultPlan.from_json_file(value)
 
 
+def _cluster_config(args) -> ClusterConfig:
+    """Build the remote-pool topology from --remote-nodes/--placement/
+    --replication (the default triple is the single-node model)."""
+    return ClusterConfig(
+        nodes=args.remote_nodes,
+        placement=args.placement,
+        replication=args.replication,
+    )
+
+
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
     print("systems:")
     for name in systems.names():
+        print(f"  {name}")
+    print("placements:")
+    for name in placement_names():
         print(f"  {name}")
     return 0
 
@@ -123,9 +155,10 @@ def _cmd_run(args) -> int:
     workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
+    cluster = _cluster_config(args)
     ct_local = runner.local_completion_time(workload, fabric)
     result = runner.run(
-        workload, args.system, args.fraction, fabric, fault_plan
+        workload, args.system, args.fraction, fabric, fault_plan, cluster
     )
     if args.json:
         payload = result.to_dict()
@@ -155,6 +188,19 @@ def _cmd_run(args) -> int:
             ["breaker opens / suppressed",
              f"{result.breaker_opens}/{result.prefetch_suppressed}"],
         ]
+    if result.remote_nodes > 1:
+        per_node_reads = "/".join(
+            str(stats["fabric"]["reads"]) for stats in result.node_stats
+        )
+        rows += [
+            ["remote nodes (placement x replication)",
+             f"{result.remote_nodes} ({result.placement} x "
+             f"{result.replication})"],
+            ["demand failovers", result.demand_failovers],
+            ["writeback re-routes", result.writeback_reroutes],
+            ["replica writes", result.replica_writes],
+            ["fabric reads per node", per_node_reads],
+        ]
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
                              f"(local={args.fraction:.0%})"))
@@ -165,9 +211,10 @@ def _cmd_compare(args) -> int:
     workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
+    cluster = _cluster_config(args)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
     comparison = runner.compare(
-        workload, names, args.fraction, fabric, fault_plan
+        workload, names, args.fraction, fabric, fault_plan, cluster
     )
     rows = []
     for name in names:

@@ -1,0 +1,25 @@
+"""Rack-scale remote-memory cluster: multi-node pool, placement, failover."""
+
+from repro.cluster.cluster import ClusterConfig, ClusterNode, RemoteMemoryCluster
+from repro.cluster.placement import (
+    AffinityPlacement,
+    HashPlacement,
+    InterleavePlacement,
+    PlacementPolicy,
+    build_placement,
+    placement_names,
+    register_placement,
+)
+
+__all__ = [
+    "AffinityPlacement",
+    "ClusterConfig",
+    "ClusterNode",
+    "HashPlacement",
+    "InterleavePlacement",
+    "PlacementPolicy",
+    "RemoteMemoryCluster",
+    "build_placement",
+    "placement_names",
+    "register_placement",
+]

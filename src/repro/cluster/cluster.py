@@ -1,0 +1,274 @@
+"""The rack-scale remote-memory cluster.
+
+The paper's prototype uses one passive memory node behind one
+Infiniband link; :class:`RemoteMemoryCluster` generalizes that to N
+:class:`~repro.net.remote.RemoteMemoryNode`s, each behind its own
+:class:`~repro.net.rdma.RdmaFabric` with independent congestion state
+and an optional per-node :class:`~repro.net.faults.FaultInjector`
+(seeded ``plan.seed + node_id``, so links fail independently but
+reproducibly).
+
+The cluster owns the **slot directory**: swap slots are still allocated
+globally (monotonic, by :class:`~repro.kernel.swap.SwapSpace`, which is
+what Fastswap's slot-neighbor read-ahead depends on) and the directory
+encodes each slot's location as (node, slot) — the primary holder plus
+``replication - 1`` ring-successor replicas.  Placement of the primary
+is pluggable (:mod:`repro.cluster.placement`).
+
+Failover semantics (exercised by remote-restart fault windows):
+
+* **demand reads** retry on the next replica when ``replication > 1``
+  (``demand_failovers``); with a single copy they fall back to the
+  single-node backoff-retry behaviour;
+* **writebacks** re-route to the next node that does not already hold
+  the slot (``writeback_reroutes``), updating the directory;
+* **prefetches** are never failed over — they drop through the
+  existing unwind path, because a speculative read is not worth a
+  second link's bandwidth while a node is restarting.
+
+Invariant: a 1-node cluster with ``interleave`` placement issues the
+exact same sequence of fabric and node operations as the pre-cluster
+single-node path, so its metrics are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.placement import PlacementPolicy, build_placement
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.rdma import FabricConfig, RdmaFabric
+from repro.net.remote import RemoteMemoryNode
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the remote-memory pool.
+
+    ``nodes``                   memory nodes, each behind its own link.
+    ``placement``               primary-copy placement policy name.
+    ``replication``             copies per page (1 = no replicas).
+    ``capacity_pages_per_node`` override; default splits the machine's
+                                total remote capacity evenly.
+    """
+
+    nodes: int = 1
+    placement: str = "interleave"
+    replication: int = 1
+    capacity_pages_per_node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 1 <= self.replication <= self.nodes:
+            raise ValueError(
+                f"replication must be in [1, nodes={self.nodes}], "
+                f"got {self.replication}"
+            )
+        if (
+            self.capacity_pages_per_node is not None
+            and self.capacity_pages_per_node < 1
+        ):
+            raise ValueError("capacity_pages_per_node must be >= 1")
+        # Fail on typos at construction, not mid-run.
+        build_placement(self.placement)
+
+
+def _plan_for_node(plan: FaultPlan, node_id: int, nnodes: int) -> FaultPlan:
+    """Derive node ``node_id``'s share of a cluster-wide fault plan.
+
+    Probabilistic drops and degraded epochs are fabric-wide conditions:
+    every node keeps them, with an independent RNG (``seed + node_id``).
+    Windowed single-machine faults — link flaps, remote stalls, remote
+    restarts — strike one node at a time: window *i* lands on node
+    ``i % nnodes``, so a restart takes down one node while its replicas
+    stay reachable (which is what failover exists for).  With one node
+    this is the identity partition, keeping single-node runs byte-equal
+    to the pre-cluster path.
+    """
+
+    def share(windows):
+        return tuple(
+            w for i, w in enumerate(windows) if i % nnodes == node_id
+        )
+
+    return replace(
+        plan,
+        seed=plan.seed + node_id,
+        link_down=share(plan.link_down),
+        remote_stall=share(plan.remote_stall),
+        remote_restart=share(plan.remote_restart),
+    )
+
+
+class ClusterNode:
+    """One memory node and the link leading to it."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: RdmaFabric,
+        remote: RemoteMemoryNode,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.fabric = fabric
+        self.remote = remote
+        self.injector = injector
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        return {
+            "node": self.node_id,
+            "fabric": self.fabric.stats_snapshot(),
+            "remote": self.remote.stats_snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterNode(id={self.node_id}, fabric={self.fabric!r}, "
+            f"remote={self.remote!r})"
+        )
+
+
+class RemoteMemoryCluster:
+    """N remote nodes, a slot directory, and failover bookkeeping."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        total_capacity_pages: int,
+        fabric_config: Optional[FabricConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.config = config
+        base = fabric_config or FabricConfig()
+        per_node = config.capacity_pages_per_node or max(
+            int(math.ceil(total_capacity_pages / config.nodes)), 1
+        )
+        armed = fault_plan is not None and not fault_plan.is_empty
+        self.nodes: List[ClusterNode] = []
+        for node_id in range(config.nodes):
+            injector = (
+                FaultInjector(_plan_for_node(fault_plan, node_id, config.nodes))
+                if armed
+                else None
+            )
+            fabric = RdmaFabric(
+                replace(base, seed=base.seed + node_id), injector=injector
+            )
+            remote = RemoteMemoryNode(per_node, injector=injector)
+            self.nodes.append(ClusterNode(node_id, fabric, remote, injector))
+        self.placement: PlacementPolicy = build_placement(config.placement)
+        #: slot -> node ids holding a copy, primary first.
+        self._holders: Dict[int, List[int]] = {}
+        # Failover counters, surfaced into RunResult.
+        self.demand_failovers = 0
+        self.writeback_reroutes = 0
+        self.replica_writes = 0
+
+    # -- topology ---------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def node_load(self, node_id: int) -> int:
+        """Pages currently stored on ``node_id`` (placement input)."""
+        return self.nodes[node_id].remote.pages_stored
+
+    def has_room(self, node_id: int) -> bool:
+        node = self.nodes[node_id].remote
+        return node.pages_stored < node.capacity_pages
+
+    # -- the slot directory -----------------------------------------------------------
+
+    def assign(self, slot: int, pid: int, vpn: int) -> List[ClusterNode]:
+        """Place ``slot`` for a writeback: primary by policy, replicas
+        on the ring successors.  Returns the holders in write order."""
+        primary = self.placement.place(pid, vpn, slot, self)
+        holders = [
+            (primary + k) % self.node_count
+            for k in range(self.config.replication)
+        ]
+        self._holders[slot] = holders
+        return [self.nodes[node_id] for node_id in holders]
+
+    def read_candidates(self, slot: int) -> List[ClusterNode]:
+        """Holders of ``slot`` in failover order (primary first)."""
+        holders = self._holders.get(slot)
+        if not holders:
+            return [self.nodes[0]]
+        return [self.nodes[node_id] for node_id in holders]
+
+    def primary_node(self, slot: int) -> ClusterNode:
+        holders = self._holders.get(slot)
+        return self.nodes[holders[0]] if holders else self.nodes[0]
+
+    def reroute(self, slot: int, failed_node_id: int) -> ClusterNode:
+        """A writeback to ``failed_node_id`` found the node unavailable:
+        pick the next ring node not already holding the slot, update the
+        directory, and return it.  With nowhere else to go (replication
+        spans every node) the original node is returned and the caller
+        falls back to backoff-retry."""
+        holders = self._holders.setdefault(slot, [failed_node_id])
+        for hop in range(1, self.node_count):
+            candidate = (failed_node_id + hop) % self.node_count
+            if candidate not in holders:
+                self._holders[slot] = [
+                    candidate if node_id == failed_node_id else node_id
+                    for node_id in holders
+                ]
+                self.writeback_reroutes += 1
+                return self.nodes[candidate]
+        return self.nodes[failed_node_id]
+
+    def release(self, slot: int) -> None:
+        """Drop every copy of ``slot`` (the page is local again)."""
+        for node_id in self._holders.pop(slot, ()):  # pragma: no branch
+            self.nodes[node_id].remote.release(slot)
+
+    def holders_of(self, slot: int) -> Tuple[int, ...]:
+        return tuple(self._holders.get(slot, ()))
+
+    # -- aggregate metrics --------------------------------------------------------------
+
+    @property
+    def fabric_reads(self) -> int:
+        return sum(node.fabric.reads for node in self.nodes)
+
+    @property
+    def fabric_writes(self) -> int:
+        return sum(node.fabric.writes for node in self.nodes)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(node.fabric.bytes_moved for node in self.nodes)
+
+    @property
+    def pages_stored(self) -> int:
+        return sum(node.remote.pages_stored for node in self.nodes)
+
+    def conserved(self) -> bool:
+        """True when every node's slot accounting balances."""
+        return all(node.remote.conserved for node in self.nodes)
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        return {
+            "nodes": self.node_count,
+            "placement": self.placement.name,
+            "replication": self.config.replication,
+            "demand_failovers": self.demand_failovers,
+            "writeback_reroutes": self.writeback_reroutes,
+            "replica_writes": self.replica_writes,
+            "per_node": [node.stats_snapshot() for node in self.nodes],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RemoteMemoryCluster(nodes={self.node_count}, "
+            f"placement={self.placement.name!r}, "
+            f"replication={self.config.replication}, "
+            f"stored={self.pages_stored})"
+        )

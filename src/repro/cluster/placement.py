@@ -1,0 +1,127 @@
+"""Page placement policies for the remote-memory cluster.
+
+A placement policy decides which node receives the primary copy of a
+page at writeback time (replicas, when configured, follow in ring order
+after the primary — see :mod:`repro.cluster.cluster`).  Policies are
+deterministic functions of (pid, vpn, slot) plus whatever state the
+policy itself accumulates, so cluster runs stay exactly as reproducible
+as single-node runs.
+
+Three built-ins:
+
+* ``interleave`` — round-robin in swap-slot order.  Slots are allocated
+  monotonically in eviction order, so this spreads writeback batches
+  evenly across every link; it is also the identity placement on a
+  1-node cluster, which is what the single-node-equivalence invariant
+  rests on.
+* ``hash`` — a stateless mix of (pid, vpn), so a page that is evicted,
+  faulted back, and evicted again lands on the same node every time.
+* ``affinity`` — co-locate each process's pages on the fewest nodes: a
+  pid gets the least-loaded node as its home on first writeback and
+  sticks to it, spilling to the next node in ring order only when the
+  home runs out of room.  Keeps scatter-gather prefetch batches on one
+  link.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.cluster.cluster import RemoteMemoryCluster
+
+
+class PlacementPolicy:
+    """Maps a page being written back to the node holding its primary
+    copy.  Instances may be stateful and belong to exactly one cluster."""
+
+    name = "base"
+
+    def place(
+        self, pid: int, vpn: int, slot: int, cluster: "RemoteMemoryCluster"
+    ) -> int:
+        raise NotImplementedError
+
+
+class InterleavePlacement(PlacementPolicy):
+    """Round-robin in slot-allocation (i.e. eviction) order."""
+
+    name = "interleave"
+
+    def place(
+        self, pid: int, vpn: int, slot: int, cluster: "RemoteMemoryCluster"
+    ) -> int:
+        return slot % cluster.node_count
+
+
+class HashPlacement(PlacementPolicy):
+    """Stateless deterministic hash of (pid, vpn): a page keeps its node
+    across re-evictions regardless of slot churn."""
+
+    name = "hash"
+
+    def place(
+        self, pid: int, vpn: int, slot: int, cluster: "RemoteMemoryCluster"
+    ) -> int:
+        # Knuth-style multiplicative mix; Python's builtin hash() is
+        # avoided so placement never depends on PYTHONHASHSEED.
+        mixed = (pid * 1_000_003) ^ (vpn * 2_654_435_761)
+        return mixed % cluster.node_count
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Co-locate a process's pages on the fewest nodes.
+
+    The home node is chosen least-loaded-first when the pid writes back
+    its first page; later pages follow the home and spill in ring order
+    only when it has no free capacity.
+    """
+
+    name = "affinity"
+
+    def __init__(self) -> None:
+        self._home: Dict[int, int] = {}
+
+    def place(
+        self, pid: int, vpn: int, slot: int, cluster: "RemoteMemoryCluster"
+    ) -> int:
+        home = self._home.get(pid)
+        if home is None:
+            home = min(
+                range(cluster.node_count),
+                key=lambda n: (cluster.node_load(n), n),
+            )
+            self._home[pid] = home
+        for hop in range(cluster.node_count):
+            candidate = (home + hop) % cluster.node_count
+            if cluster.has_room(candidate):
+                return candidate
+        # Every node is full; return home and let the node's own
+        # capacity check raise, exactly like the single-node path.
+        return home
+
+
+_PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {
+    InterleavePlacement.name: InterleavePlacement,
+    HashPlacement.name: HashPlacement,
+    AffinityPlacement.name: AffinityPlacement,
+}
+
+
+def build_placement(name: str) -> PlacementPolicy:
+    """Instantiate a placement policy; raises with the known names."""
+    cls = _PLACEMENTS.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown placement {name!r}; known: {', '.join(sorted(_PLACEMENTS))}"
+        )
+    return cls()
+
+
+def placement_names() -> list:
+    return sorted(_PLACEMENTS)
+
+
+def register_placement(cls: Type[PlacementPolicy]) -> None:
+    """Extension point: add a custom placement policy."""
+    _PLACEMENTS[cls.name] = cls

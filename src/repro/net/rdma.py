@@ -163,3 +163,23 @@ class RdmaFabric:
     @property
     def bytes_moved(self) -> int:
         return self.transfers * PAGE_SIZE
+
+    def stats_snapshot(self) -> dict:
+        """Public counter snapshot, for per-link metrics aggregation and
+        debugging (no caller should poke the private service cursors)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_moved": self.bytes_moved,
+            "latency_mean_us": self.latency_stat.mean,
+            "latency_max_us": self.latency_stat.max or 0.0,
+            "link_busy_until_us": self._link_free_at_us,
+            "prio_busy_until_us": self._prio_free_at_us,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RdmaFabric(gbps={self.config.gbps}, reads={self.reads}, "
+            f"writes={self.writes}, "
+            f"mean_latency_us={self.latency_stat.mean:.2f})"
+        )

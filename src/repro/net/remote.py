@@ -76,6 +76,33 @@ class RemoteMemoryNode:
     def pages_stored(self) -> int:
         return len(self._slots)
 
+    @property
+    def conserved(self) -> bool:
+        """The slot-conservation invariant: every written page is still
+        stored, was overwritten, or was released."""
+        return self.pages_written == (
+            self.pages_stored + self.pages_overwritten + self.pages_released
+        )
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Public counter snapshot, for metrics aggregation and debugging
+        (no caller should poke the private slot map)."""
+        return {
+            "capacity_pages": self.capacity_pages,
+            "pages_stored": self.pages_stored,
+            "pages_written": self.pages_written,
+            "pages_read": self.pages_read,
+            "pages_overwritten": self.pages_overwritten,
+            "pages_released": self.pages_released,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RemoteMemoryNode(stored={self.pages_stored}/"
+            f"{self.capacity_pages}, written={self.pages_written}, "
+            f"read={self.pages_read}, conserved={self.conserved})"
+        )
+
     def _check_available(self, now_us: Optional[float]) -> None:
         """Restart windows: the node answers nothing for their duration."""
         if self.injector is not None and now_us is not None:

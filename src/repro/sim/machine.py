@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import FaultTimePrefetcher
+from repro.cluster.cluster import ClusterConfig, ClusterNode, RemoteMemoryCluster
 from repro.common.constants import (
     BLOCK_SHIFT,
     PAGE_SHIFT,
@@ -40,6 +41,7 @@ from repro.net.faults import (
     FaultInjector,
     FaultPlan,
     RemoteFetchFatalError,
+    RemoteUnavailableError,
     TransferTimeout,
 )
 from repro.net.rdma import FabricConfig, RdmaFabric
@@ -78,6 +80,10 @@ class MachineConfig:
     #: Exponential backoff between retries: base * multiplier ** attempt.
     retry_backoff_us: float = 25.0
     retry_backoff_multiplier: float = 2.0
+    #: Remote-pool topology.  The default (one node, interleave, no
+    #: replication) is byte-identical to the pre-cluster single-node
+    #: path; ``remote_capacity_pages`` is split evenly across nodes.
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
 
 class Machine:
@@ -95,13 +101,17 @@ class Machine:
         self.now_us = 0.0
 
         plan = config.fault_plan
-        self.faults: Optional[FaultInjector] = (
-            FaultInjector(plan) if plan is not None and not plan.is_empty else None
+        self.cluster = RemoteMemoryCluster(
+            config.cluster,
+            config.remote_capacity_pages,
+            config.fabric,
+            fault_plan=plan,
         )
-        self.fabric = RdmaFabric(config.fabric, injector=self.faults)
-        self.remote = RemoteMemoryNode(
-            config.remote_capacity_pages, injector=self.faults
-        )
+        #: Node 0's injector doubles as the "is fault injection armed"
+        #: flag: every node arms iff the plan is non-empty, and on the
+        #: default 1-node cluster this is exactly the old single
+        #: injector (same plan, same seed).
+        self.faults: Optional[FaultInjector] = self.cluster.nodes[0].injector
         self.frames = FrameAllocator(total_frames=1 << 24)
         self.swap_space = SwapSpace()
         self.swapcache = SwapCache()
@@ -145,6 +155,16 @@ class Machine:
 
         if hopp is not None:
             self.controller.add_tap(hopp.on_mc_access)
+
+    @property
+    def fabric(self) -> RdmaFabric:
+        """Node 0's link — *the* link on a single-node cluster."""
+        return self.cluster.nodes[0].fabric
+
+    @property
+    def remote(self) -> RemoteMemoryNode:
+        """Node 0's memory — *the* node on a single-node cluster."""
+        return self.cluster.nodes[0].remote
 
     # -- process setup -------------------------------------------------------------
 
@@ -290,7 +310,8 @@ class Machine:
         pte.ppn = ppn
         slot = pte.swap_slot
         if self.faults is None:
-            completion = self.fabric.read_page(self.now_us, priority=True)
+            node = self.cluster.primary_node(slot)
+            completion = node.fabric.read_page(self.now_us, priority=True)
             rdma_wait = completion - self.now_us
         else:
             rdma_wait = self._demand_fetch_resilient(pid, vpn, slot)
@@ -339,13 +360,20 @@ class Machine:
         """
         waited = 0.0
         attempts = 0
+        candidates = (
+            self.cluster.read_candidates(slot)
+            if slot is not None and slot >= 0
+            else [self.cluster.nodes[0]]
+        )
+        target = 0
         while True:
+            node = candidates[target % len(candidates)]
             t = self.now_us + waited
             try:
-                completion = self.fabric.read_page(t, priority=True)
+                completion = node.fabric.read_page(t, priority=True)
                 if slot is not None and slot >= 0:
-                    self.remote.read(slot, now_us=t)
-                stall = self.faults.remote_delay_us(t)
+                    node.remote.read(slot, now_us=t)
+                stall = node.injector.remote_delay_us(t)
                 return waited + (completion - t) + stall
             except TransferTimeout as fault:
                 self.timeouts += 1
@@ -355,6 +383,19 @@ class Machine:
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
+                if (
+                    isinstance(fault, RemoteUnavailableError)
+                    and len(candidates) > 1
+                ):
+                    # The node is restarting and a replica holds the
+                    # page one link over: fail over immediately.  The
+                    # detection timeout is paid, the backoff is not —
+                    # the retry goes straight out on a live QP.
+                    target += 1
+                    self.cluster.demand_failovers += 1
+                    waited += fault.wasted_us
+                    self.retry_latency_us += fault.wasted_us
+                    continue
                 backoff = self.config.retry_backoff_us * (
                     self.config.retry_backoff_multiplier ** (attempts - 1)
                 )
@@ -380,12 +421,13 @@ class Machine:
         cgroup.charge(1, prefetch=True)
         self._resident[cgroup.name] += 1
         pte.ppn = self.frames.allocate(pid, vpn)
+        node = self._node_for_page(pte)
         try:
-            completion = self.fabric.read_page(now_us)
+            completion = node.fabric.read_page(now_us)
             if self.faults is not None:
                 if pte.swap_slot is not None and pte.swap_slot >= 0:
-                    self.remote.read(pte.swap_slot, now_us=now_us)
-                completion += self.faults.remote_delay_us(now_us)
+                    node.remote.read(pte.swap_slot, now_us=now_us)
+                completion += node.injector.remote_delay_us(now_us)
         except TransferTimeout:
             # Prefetches are speculative: never retried, dropped with
             # full bookkeeping cleanup so every counter still conserves.
@@ -436,42 +478,56 @@ class Machine:
         ]
         if not fetchable:
             return None
-        try:
-            arrivals = self.fabric.read_batch(now_us, len(fetchable))
-            if self.faults is not None:
-                self.faults.check_remote(now_us)
-        except TransferTimeout:
-            # The whole scatter-gather request lost its completion; drop
-            # every page in it (nothing was charged or allocated yet).
-            count = len(fetchable)
-            self.timeouts += 1
-            self.prefetch_issued += count
-            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + count
-            self.dropped_prefetches += count
-            self.dropped_by_tier[tier] = (
-                self.dropped_by_tier.get(tier, 0) + count
-            )
-            if self.hopp is not None:
-                self.hopp.on_prefetch_dropped(now_us)
-            return None
+        # One scatter-gather request per node holding pages of the range
+        # (pages interleaved across nodes fragment the batch; affinity
+        # placement keeps it whole).  Node order is first appearance in
+        # the VPN range, so grouping is deterministic.
+        groups: Dict[int, List[int]] = {}
+        for vpn in fetchable:
+            node = self._node_for_page(table.entry(vpn))
+            groups.setdefault(node.node_id, []).append(vpn)
         cgroup = self._cgroup_of[pid]
-        for vpn, arrival in zip(fetchable, arrivals):
-            self._ensure_headroom(pid)
-            cgroup.charge(1, prefetch=True)
-            self._resident[cgroup.name] += 1
-            pte = table.entry(vpn)
-            pte.ppn = self.frames.allocate(pid, vpn)
-            pte.state = PteState.INFLIGHT
-            pte.prefetched = True
-            pte.prefetch_tier = tier
-            pte.arrival_us = arrival
-            pte.injected = inject_pte
-            self._arrival_seq += 1
-            heapq.heappush(self._arrivals, (arrival, self._arrival_seq, pid, vpn))
-        self._note_peak()
-        self.prefetch_issued += len(fetchable)
-        self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + len(fetchable)
-        return arrivals[-1]
+        last_arrival = None
+        for node_id, vpns in groups.items():
+            node = self.cluster.nodes[node_id]
+            try:
+                arrivals = node.fabric.read_batch(now_us, len(vpns))
+                if self.faults is not None:
+                    node.injector.check_remote(now_us)
+            except TransferTimeout:
+                # This node's scatter-gather request lost its completion;
+                # drop every page in it (nothing was charged or
+                # allocated yet).  Other nodes' requests proceed.
+                count = len(vpns)
+                self.timeouts += 1
+                self.prefetch_issued += count
+                self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + count
+                self.dropped_prefetches += count
+                self.dropped_by_tier[tier] = (
+                    self.dropped_by_tier.get(tier, 0) + count
+                )
+                if self.hopp is not None:
+                    self.hopp.on_prefetch_dropped(now_us)
+                continue
+            for vpn, arrival in zip(vpns, arrivals):
+                self._ensure_headroom(pid)
+                cgroup.charge(1, prefetch=True)
+                self._resident[cgroup.name] += 1
+                pte = table.entry(vpn)
+                pte.ppn = self.frames.allocate(pid, vpn)
+                pte.state = PteState.INFLIGHT
+                pte.prefetched = True
+                pte.prefetch_tier = tier
+                pte.arrival_us = arrival
+                pte.injected = inject_pte
+                self._arrival_seq += 1
+                heapq.heappush(self._arrivals, (arrival, self._arrival_seq, pid, vpn))
+            self._note_peak()
+            self.prefetch_issued += len(vpns)
+            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + len(vpns)
+            if last_arrival is None or arrivals[-1] > last_arrival:
+                last_arrival = arrivals[-1]
+        return last_arrival
 
     def _process_arrivals(self, upto_us: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= upto_us:
@@ -567,8 +623,13 @@ class Machine:
             table.unmap_page(vpn)
             slot = self.swap_space.allocate(pid, vpn)
             if self.faults is None:
-                self.remote.write(slot, pid, vpn)
-                self.fabric.write_page(self.now_us)
+                for index, target in enumerate(
+                    self.cluster.assign(slot, pid, vpn)
+                ):
+                    target.remote.write(slot, pid, vpn)
+                    target.fabric.write_page(self.now_us)
+                    if index:
+                        self.cluster.replica_writes += 1
             else:
                 self._writeback_resilient(slot, pid, vpn)
             pte.swap_slot = slot
@@ -600,14 +661,27 @@ class Machine:
         """Reclaim writeback with bounded retries.  Writebacks are
         asynchronous (off the application's critical path), so retries
         only advance the transfer's issue time, not ``now_us``; losing
-        the page is not an option, so budget exhaustion is fatal."""
+        the page is not an option, so budget exhaustion is fatal.
+
+        On a multi-node cluster a writeback that finds its target node
+        restarting re-routes to the next live node (the directory is
+        updated); plain fabric drops retry the same node with backoff."""
+        targets = self.cluster.assign(slot, pid, vpn)
+        for index, target in enumerate(targets):
+            self._writeback_one(slot, pid, vpn, target)
+            if index:
+                self.cluster.replica_writes += 1
+
+    def _writeback_one(
+        self, slot: int, pid: int, vpn: int, node: ClusterNode
+    ) -> None:
         waited = 0.0
         attempts = 0
         while True:
             t = self.now_us + waited
             try:
-                self.fabric.write_page(t)
-                self.remote.write(slot, pid, vpn, now_us=t)
+                node.fabric.write_page(t)
+                node.remote.write(slot, pid, vpn, now_us=t)
                 return
             except TransferTimeout as fault:
                 self.timeouts += 1
@@ -615,6 +689,17 @@ class Machine:
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
+                if (
+                    isinstance(fault, RemoteUnavailableError)
+                    and self.cluster.node_count > 1
+                ):
+                    rerouted = self.cluster.reroute(slot, node.node_id)
+                    if rerouted.node_id != node.node_id:
+                        # Detection cost is paid; the re-issued write
+                        # goes straight out on the new node's link.
+                        node = rerouted
+                        waited += fault.wasted_us
+                        continue
                 backoff = self.config.retry_backoff_us * (
                     self.config.retry_backoff_multiplier ** (attempts - 1)
                 )
@@ -623,13 +708,22 @@ class Machine:
     # -- helpers ------------------------------------------------------------------------
 
     def _release_remote_copy(self, pid: int, vpn: int, slot: Optional[int] = None) -> None:
-        """The page is mapped locally again: drop its swap slot."""
+        """The page is mapped locally again: drop its swap slot — every
+        replica across the cluster, so slot accounting conserves."""
         pte = self._page_tables[pid].entry(vpn)
         slot = pte.swap_slot if slot is None else slot
         if slot is not None and slot >= 0:
-            self.remote.release(slot)
+            self.cluster.release(slot)
             self.swap_space.free(slot)
             pte.swap_slot = -1
+
+    def _node_for_page(self, pte: Pte) -> ClusterNode:
+        """The node holding a REMOTE page's primary copy (node 0 when
+        the slot was never placed, matching the single-link model)."""
+        slot = pte.swap_slot
+        if slot is not None and slot >= 0:
+            return self.cluster.primary_node(slot)
+        return self.cluster.nodes[0]
 
     def _lru_of_pid(self, pid: int) -> LruPageList:
         return self._lru_of[self._cgroup_of[pid].name]

@@ -58,6 +58,19 @@ class RunResult:
     breaker_opens: int = 0
     #: Prefetch requests suppressed at the breaker gate while degraded.
     prefetch_suppressed: int = 0
+    #: Remote-pool topology (1/interleave/1 = the single-node model).
+    remote_nodes: int = 1
+    placement: str = "interleave"
+    replication: int = 1
+    #: Demand reads answered by a replica after the primary was found
+    #: restarting (requires replication > 1).
+    demand_failovers: int = 0
+    #: Reclaim writebacks re-routed to a live node mid-retry.
+    writeback_reroutes: int = 0
+    #: Extra WRITEs spent keeping replicas (0 when replication == 1).
+    replica_writes: int = 0
+    #: Per-node fabric/remote counter snapshots (one dict per node).
+    node_stats: list = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -164,6 +177,15 @@ class RunResult:
             "degraded_mode_us": self.degraded_mode_us,
             "breaker_opens": self.breaker_opens,
             "prefetch_suppressed": self.prefetch_suppressed,
+            "cluster": {
+                "remote_nodes": self.remote_nodes,
+                "placement": self.placement,
+                "replication": self.replication,
+                "demand_failovers": self.demand_failovers,
+                "writeback_reroutes": self.writeback_reroutes,
+                "replica_writes": self.replica_writes,
+                "per_node": list(self.node_stats),
+            },
             "accuracy": self.accuracy,
             "coverage": self.coverage,
             "page_faults": self.page_faults,

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.cluster.cluster import ClusterConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import systems as systems_mod
@@ -31,6 +32,7 @@ def make_machine(
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
+    cluster: Optional[ClusterConfig] = None,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -43,6 +45,7 @@ def make_machine(
         fabric=fabric or FabricConfig(),
         compute_us_per_access=workload.compute_us_per_access,
         fault_plan=fault_plan,
+        cluster=cluster or ClusterConfig(),
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -70,8 +73,8 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         issued_by_tier=dict(machine.issued_by_tier),
         hits_by_tier=dict(machine.hits_by_tier),
         breakdown=machine.breakdown,
-        fabric_reads=machine.fabric.reads,
-        fabric_writes=machine.fabric.writes,
+        fabric_reads=machine.cluster.fabric_reads,
+        fabric_writes=machine.cluster.fabric_writes,
         reclaim_pages=machine.reclaimer.stats.pages_reclaimed,
         peak_resident_pages=machine.peak_resident_pages,
         timeouts=machine.timeouts,
@@ -79,6 +82,13 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         retry_latency_us=machine.retry_latency_us,
         dropped_prefetches=machine.dropped_prefetches,
         dropped_by_tier=dict(machine.dropped_by_tier),
+        remote_nodes=machine.cluster.node_count,
+        placement=machine.cluster.placement.name,
+        replication=machine.cluster.config.replication,
+        demand_failovers=machine.cluster.demand_failovers,
+        writeback_reroutes=machine.cluster.writeback_reroutes,
+        replica_writes=machine.cluster.replica_writes,
+        node_stats=[node.stats_snapshot() for node in machine.cluster.nodes],
     )
     if machine.hopp is not None:
         plane = machine.hopp
@@ -107,11 +117,12 @@ def run(
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
+    cluster: Optional[ClusterConfig] = None,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point."""
     spec = _resolve(system)
     machine = make_machine(
-        workload, spec, local_memory_fraction, fabric, fault_plan
+        workload, spec, local_memory_fraction, fabric, fault_plan, cluster
     )
     machine.run(workload.trace())
     return collect(machine, spec.name, workload.name)
@@ -146,18 +157,19 @@ def compare(
     local_memory_fraction: float = 0.5,
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
+    cluster: Optional[ClusterConfig] = None,
 ) -> Comparison:
     """Run one workload under several systems on identical traces.
 
-    ``fault_plan`` applies to the systems under test, never to the
-    CT_local reference (degraded hardware is the condition being
-    measured, not the yardstick)."""
+    ``fault_plan`` and ``cluster`` apply to the systems under test,
+    never to the CT_local reference (degraded or distributed hardware is
+    the condition being measured, not the yardstick)."""
     comparison = Comparison(
         workload=workload.name,
         ct_local_us=local_completion_time(workload, fabric),
     )
     for name in system_names:
         comparison.results[name] = run(
-            workload, name, local_memory_fraction, fabric, fault_plan
+            workload, name, local_memory_fraction, fabric, fault_plan, cluster
         )
     return comparison

@@ -70,6 +70,114 @@ class TestRdmaFabric:
         assert lat_a == lat_b
 
 
+class TestReadBatchPinned:
+    """Seed-pinned ``read_batch`` latency sequences.  Any change to the
+    fabric's RNG consumption order, queueing rule, or service time shows
+    up here as an exact-value diff — the single-node-equivalence
+    invariant of the cluster subsystem depends on this sequence never
+    shifting silently."""
+
+    def _fabric(self):
+        return RdmaFabric(FabricConfig(seed=7))
+
+    def test_first_batch_sequence(self):
+        fabric = self._fabric()
+        assert fabric.read_batch(0.0, 4) == [
+            4.844209069009388,
+            5.429351926152245,
+            6.014494783295102,
+            6.599637640437959,
+        ]
+
+    def test_second_batch_queues_behind_first(self):
+        fabric = self._fabric()
+        fabric.read_batch(0.0, 4)
+        # Issued at t=0 but the link is busy until the first batch
+        # drains, so arrivals continue one service time apart.
+        assert fabric.read_batch(0.0, 3) == [
+            7.446461864146169,
+            8.031604721289026,
+            8.616747578431884,
+        ]
+
+    def test_batch_arrivals_are_service_time_spaced(self):
+        fabric = self._fabric()
+        arrivals = fabric.read_batch(0.0, 4)
+        for earlier, later in zip(arrivals, arrivals[1:]):
+            assert later - earlier == pytest.approx(fabric.page_service_us)
+
+    def test_priority_read_after_batches(self):
+        fabric = self._fabric()
+        fabric.read_batch(0.0, 4)
+        fabric.read_batch(0.0, 3)
+        # The priority QP does not queue behind bulk batches.
+        assert fabric.read_page(100.0, priority=True) == 104.42870560344535
+
+    def test_page_service_time_pinned(self):
+        assert self._fabric().page_service_us == 0.5851428571428572
+
+    def test_empty_batch_rejected(self):
+        fabric = self._fabric()
+        with pytest.raises(ValueError):
+            fabric.read_batch(0.0, 0)
+        assert fabric.reads == 0
+
+
+class TestStatsSnapshots:
+    def test_fabric_snapshot_counts_and_latency(self):
+        fabric = RdmaFabric(FabricConfig(seed=7))
+        fabric.read_batch(0.0, 4)
+        fabric.read_batch(0.0, 3)
+        fabric.read_page(100.0, priority=True)
+        snapshot = fabric.stats_snapshot()
+        assert snapshot["reads"] == 8
+        assert snapshot["writes"] == 0
+        assert snapshot["bytes_moved"] == 8 * 4096
+        assert snapshot["latency_max_us"] == 8.616747578431884
+        assert snapshot["latency_mean_us"] == pytest.approx(6.548, abs=1e-3)
+        assert snapshot["link_busy_until_us"] > 100.0
+
+    def test_fabric_snapshot_when_idle(self):
+        snapshot = RdmaFabric(quiet_fabric()).stats_snapshot()
+        assert snapshot["reads"] == 0
+        assert snapshot["latency_max_us"] == 0.0
+
+    def test_fabric_repr(self):
+        fabric = RdmaFabric(quiet_fabric())
+        fabric.read_page(0.0)
+        text = repr(fabric)
+        assert "RdmaFabric" in text and "reads=1" in text
+
+    def test_remote_node_snapshot(self):
+        node = RemoteMemoryNode(capacity_pages=4)
+        node.write(0, 1, 100)
+        node.write(0, 1, 101)  # overwrite
+        node.write(1, 1, 102)
+        node.release(1)
+        snapshot = node.stats_snapshot()
+        assert snapshot == {
+            "capacity_pages": 4,
+            "pages_stored": 1,
+            "pages_written": 3,
+            "pages_read": 0,
+            "pages_overwritten": 1,
+            "pages_released": 1,
+        }
+        # The conservation invariant is readable straight off the dict.
+        assert snapshot["pages_written"] == (
+            snapshot["pages_stored"]
+            + snapshot["pages_overwritten"]
+            + snapshot["pages_released"]
+        )
+        assert node.conserved
+
+    def test_remote_node_repr(self):
+        node = RemoteMemoryNode(capacity_pages=4)
+        node.write(0, 1, 100)
+        text = repr(node)
+        assert "RemoteMemoryNode" in text and "stored=1" in text
+
+
 class TestFabricConfigValidation:
     def test_zero_bandwidth_rejected(self):
         """gbps=0 used to crash later with ZeroDivisionError in
