@@ -48,7 +48,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--fault-plan", default=None, metavar="PLAN",
             help="inject fabric/remote faults: 'chaos' (the hostile-"
-                 "fabric preset), 'chaos:<seed>', or a JSON plan file",
+                 "fabric preset), 'chaos:<seed>', 'crash' (one node dies "
+                 "permanently mid-run), 'crash:<seed>', 'crash-rejoin' "
+                 "(dies, then a replacement racks in), or a JSON plan "
+                 "file",
+        )
+        p.add_argument(
+            "--check-invariants", action="store_true",
+            help="run the cross-layer invariant sanitizer at epoch "
+                 "boundaries and after every recovery event (opt-in: "
+                 "each sweep walks every page-table entry)",
         )
 
     def add_cluster_args(p):
@@ -117,14 +126,24 @@ def _load_fault_plan(value: Optional[str], seed: int) -> Optional[FaultPlan]:
         return None
     if value == "chaos":
         return FaultPlan.chaos(seed)
-    if value.startswith("chaos:"):
-        raw_seed = value.split(":", 1)[1]
-        try:
-            return FaultPlan.chaos(int(raw_seed))
-        except ValueError:
-            raise ValueError(
-                f"bad --fault-plan seed {raw_seed!r}; expected chaos:<int>"
-            ) from None
+    if value == "crash":
+        return FaultPlan.crash(seed)
+    if value == "crash-rejoin":
+        return FaultPlan.crash_rejoin(seed)
+    for preset, builder in (
+        ("chaos:", FaultPlan.chaos),
+        ("crash:", FaultPlan.crash),
+        ("crash-rejoin:", FaultPlan.crash_rejoin),
+    ):
+        if value.startswith(preset):
+            raw_seed = value.split(":", 1)[1]
+            try:
+                return builder(int(raw_seed))
+            except ValueError:
+                raise ValueError(
+                    f"bad --fault-plan seed {raw_seed!r}; expected "
+                    f"{preset}<int>"
+                ) from None
     return FaultPlan.from_json_file(value)
 
 
@@ -158,7 +177,8 @@ def _cmd_run(args) -> int:
     cluster = _cluster_config(args)
     ct_local = runner.local_completion_time(workload, fabric)
     result = runner.run(
-        workload, args.system, args.fraction, fabric, fault_plan, cluster
+        workload, args.system, args.fraction, fabric, fault_plan, cluster,
+        check_invariants=args.check_invariants,
     )
     if args.json:
         payload = result.to_dict()
@@ -201,6 +221,19 @@ def _cmd_run(args) -> int:
             ["replica writes", result.replica_writes],
             ["fabric reads per node", per_node_reads],
         ]
+    if result.node_crashes or result.pages_repaired or result.pages_lost:
+        rows += [
+            ["node crashes / rejoins",
+             f"{result.node_crashes}/{result.node_rejoins}"],
+            ["pages repaired", result.pages_repaired],
+            ["pages lost (zero-filled)",
+             f"{result.pages_lost} ({result.pages_zero_filled})"],
+            ["pages salvaged / drained",
+             f"{result.pages_salvaged}/{result.pages_drained}"],
+            ["repair traffic (bytes)", result.repair_bytes],
+        ]
+    if result.invariant_checks:
+        rows.append(["invariant checks passed", result.invariant_checks])
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
                              f"(local={args.fraction:.0%})"))
@@ -214,7 +247,8 @@ def _cmd_compare(args) -> int:
     cluster = _cluster_config(args)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
     comparison = runner.compare(
-        workload, names, args.fraction, fabric, fault_plan, cluster
+        workload, names, args.fraction, fabric, fault_plan, cluster,
+        check_invariants=args.check_invariants,
     )
     rows = []
     for name in names:

@@ -1,6 +1,18 @@
-"""Rack-scale remote-memory cluster: multi-node pool, placement, failover."""
+"""Rack-scale remote-memory cluster: multi-node pool, placement,
+failover, health monitoring, and background repair."""
 
-from repro.cluster.cluster import ClusterConfig, ClusterNode, RemoteMemoryCluster
+from repro.cluster.cluster import (
+    ClusterConfig,
+    ClusterNode,
+    PageLostError,
+    RemoteMemoryCluster,
+    SlotDirectoryError,
+)
+from repro.cluster.health import (
+    HealthConfig,
+    HealthMonitor,
+    NodeState,
+)
 from repro.cluster.placement import (
     AffinityPlacement,
     HashPlacement,
@@ -10,15 +22,23 @@ from repro.cluster.placement import (
     placement_names,
     register_placement,
 )
+from repro.cluster.repair import RepairConfig, RepairEngine
 
 __all__ = [
     "AffinityPlacement",
     "ClusterConfig",
     "ClusterNode",
     "HashPlacement",
+    "HealthConfig",
+    "HealthMonitor",
     "InterleavePlacement",
+    "NodeState",
+    "PageLostError",
     "PlacementPolicy",
     "RemoteMemoryCluster",
+    "RepairConfig",
+    "RepairEngine",
+    "SlotDirectoryError",
     "build_placement",
     "placement_names",
     "register_placement",

@@ -35,12 +35,42 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.placement import PlacementPolicy, build_placement
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.rdma import FabricConfig, RdmaFabric
 from repro.net.remote import RemoteMemoryNode
+
+
+class SlotDirectoryError(KeyError):
+    """Lookup of a slot the directory has no entry for.
+
+    Before the self-healing layer this silently fell back to node 0,
+    which masked directory corruption; now it is a typed error — a read
+    of an unplaced slot is always a caller bug or lost state."""
+
+
+class PageLostError(RuntimeError):
+    """Every copy of a page died with its node(s).
+
+    ``Machine`` resolves the fault by mapping a zero-filled frame and
+    counting ``pages_zero_filled`` — the disaggregated-memory analogue
+    of an uncorrectable machine check on the lost DRAM."""
+
+    def __init__(
+        self, pid: int, vpn: int, slot: int, waited_us: float = 0.0
+    ) -> None:
+        super().__init__(
+            f"page (pid={pid}, vpn={vpn}) lost: slot {slot} had no "
+            f"surviving replica"
+        )
+        self.pid = pid
+        self.vpn = vpn
+        self.slot = slot
+        #: Detection latency already paid by the faulting access when
+        #: the loss was discovered mid-retry.
+        self.waited_us = waited_us
 
 
 @dataclass(frozen=True)
@@ -100,6 +130,10 @@ def _plan_for_node(plan: FaultPlan, node_id: int, nnodes: int) -> FaultPlan:
         link_down=share(plan.link_down),
         remote_stall=share(plan.remote_stall),
         remote_restart=share(plan.remote_restart),
+        # Crash/rejoin times are index-paired, and ``share`` filters both
+        # by the same index, so each node keeps its pairs intact.
+        node_crash=share(plan.node_crash),
+        node_rejoin=share(plan.node_rejoin),
     )
 
 
@@ -163,10 +197,19 @@ class RemoteMemoryCluster:
         self.placement: PlacementPolicy = build_placement(config.placement)
         #: slot -> node ids holding a copy, primary first.
         self._holders: Dict[int, List[int]] = {}
+        #: Slots whose every copy died with its node — reads of these
+        #: must zero-fill, not hit the fabric.
+        self._lost_slots: Set[int] = set()
+        #: Optional :class:`~repro.cluster.health.HealthMonitor`;
+        #: attached by ``Machine`` when recovery is armed.  When present,
+        #: placement and re-routing skip non-placeable (DOWN/DRAINING)
+        #: nodes; when absent, behaviour is byte-identical to pre-health.
+        self.health = None
         # Failover counters, surfaced into RunResult.
         self.demand_failovers = 0
         self.writeback_reroutes = 0
         self.replica_writes = 0
+        self.directory_misses = 0
 
     # -- topology ---------------------------------------------------------------------
 
@@ -184,27 +227,58 @@ class RemoteMemoryCluster:
 
     # -- the slot directory -----------------------------------------------------------
 
+    def _placeable(self, node_id: int) -> bool:
+        """Whether new copies may land on ``node_id`` (health-gated)."""
+        return self.health is None or self.health.is_placeable(node_id)
+
     def assign(self, slot: int, pid: int, vpn: int) -> List[ClusterNode]:
         """Place ``slot`` for a writeback: primary by policy, replicas
-        on the ring successors.  Returns the holders in write order."""
+        on the ring successors.  DOWN/DRAINING nodes are skipped when a
+        health monitor is attached.  Returns the holders in write order."""
         primary = self.placement.place(pid, vpn, slot, self)
-        holders = [
-            (primary + k) % self.node_count
-            for k in range(self.config.replication)
-        ]
+        if self.health is None:
+            holders = [
+                (primary + k) % self.node_count
+                for k in range(self.config.replication)
+            ]
+        else:
+            holders = []
+            for hop in range(self.node_count):
+                candidate = (primary + hop) % self.node_count
+                if self._placeable(candidate):
+                    holders.append(candidate)
+                    if len(holders) == self.config.replication:
+                        break
+            if not holders:
+                # Nowhere healthy to place: fall back to the policy's
+                # choice and let the node's own availability check
+                # raise, which routes the caller into backoff-retry.
+                holders = [primary]
         self._holders[slot] = holders
         return [self.nodes[node_id] for node_id in holders]
 
     def read_candidates(self, slot: int) -> List[ClusterNode]:
-        """Holders of ``slot`` in failover order (primary first)."""
+        """Holders of ``slot`` in failover order (primary first).
+
+        Raises :class:`SlotDirectoryError` for a slot the directory does
+        not know — silently handing back node 0 (the old behaviour)
+        masked directory corruption."""
         holders = self._holders.get(slot)
         if not holders:
-            return [self.nodes[0]]
+            self.directory_misses += 1
+            raise SlotDirectoryError(
+                f"slot {slot} has no directory entry"
+            )
         return [self.nodes[node_id] for node_id in holders]
 
     def primary_node(self, slot: int) -> ClusterNode:
         holders = self._holders.get(slot)
-        return self.nodes[holders[0]] if holders else self.nodes[0]
+        if not holders:
+            self.directory_misses += 1
+            raise SlotDirectoryError(
+                f"slot {slot} has no directory entry"
+            )
+        return self.nodes[holders[0]]
 
     def reroute(self, slot: int, failed_node_id: int) -> ClusterNode:
         """A writeback to ``failed_node_id`` found the node unavailable:
@@ -215,11 +289,17 @@ class RemoteMemoryCluster:
         holders = self._holders.setdefault(slot, [failed_node_id])
         for hop in range(1, self.node_count):
             candidate = (failed_node_id + hop) % self.node_count
-            if candidate not in holders:
-                self._holders[slot] = [
-                    candidate if node_id == failed_node_id else node_id
-                    for node_id in holders
-                ]
+            if candidate not in holders and self._placeable(candidate):
+                if failed_node_id in holders:
+                    self._holders[slot] = [
+                        candidate if node_id == failed_node_id else node_id
+                        for node_id in holders
+                    ]
+                else:
+                    # The failed holder was already dropped (its crash
+                    # was detected mid-writeback): the new node joins
+                    # the survivors instead of replacing anything.
+                    holders.append(candidate)
                 self.writeback_reroutes += 1
                 return self.nodes[candidate]
         return self.nodes[failed_node_id]
@@ -228,9 +308,45 @@ class RemoteMemoryCluster:
         """Drop every copy of ``slot`` (the page is local again)."""
         for node_id in self._holders.pop(slot, ()):  # pragma: no branch
             self.nodes[node_id].remote.release(slot)
+        self._lost_slots.discard(slot)
 
     def holders_of(self, slot: int) -> Tuple[int, ...]:
         return tuple(self._holders.get(slot, ()))
+
+    def slots_in_directory(self) -> Tuple[int, ...]:
+        return tuple(self._holders)
+
+    # -- recovery bookkeeping (driven by the repair engine) -----------------------------
+
+    def drop_holder(self, slot: int, node_id: int) -> None:
+        """Remove ``node_id`` from a slot's holder list (its copy died);
+        the directory entry disappears when the last holder goes."""
+        holders = self._holders.get(slot)
+        if holders is None or node_id not in holders:
+            return
+        holders.remove(node_id)
+        if not holders:
+            del self._holders[slot]
+
+    def add_holder(self, slot: int, node_id: int) -> None:
+        """Record a repaired copy of ``slot`` on ``node_id``."""
+        holders = self._holders.get(slot)
+        if holders is None:
+            self._holders[slot] = [node_id]
+        elif node_id not in holders:
+            holders.append(node_id)
+
+    def mark_lost(self, slot: int) -> None:
+        """Every copy of ``slot`` died; remember it for zero-fill."""
+        self._holders.pop(slot, None)
+        self._lost_slots.add(slot)
+
+    def is_lost(self, slot: int) -> bool:
+        return slot in self._lost_slots
+
+    @property
+    def lost_slot_count(self) -> int:
+        return len(self._lost_slots)
 
     # -- aggregate metrics --------------------------------------------------------------
 
@@ -262,6 +378,8 @@ class RemoteMemoryCluster:
             "demand_failovers": self.demand_failovers,
             "writeback_reroutes": self.writeback_reroutes,
             "replica_writes": self.replica_writes,
+            "directory_misses": self.directory_misses,
+            "lost_slots": len(self._lost_slots),
             "per_node": [node.stats_snapshot() for node in self.nodes],
         }
 

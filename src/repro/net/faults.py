@@ -17,7 +17,12 @@ swap path can be exercised under typed, reproducible failures:
 * **remote-node stalls** — intervals adding fixed service delay at the
   memory node;
 * **remote-node restarts** — intervals where the node answers nothing
-  (:class:`RemoteUnavailableError`).
+  (:class:`RemoteUnavailableError`);
+* **node crashes** — ``node_crash`` timestamps after which the node is
+  *permanently* dead (its stored pages are gone) until a paired
+  ``node_rejoin`` timestamp, if any, re-admits it empty.  Crashes are
+  what the cluster's health monitor and repair engine exist for
+  (:mod:`repro.cluster.health`, :mod:`repro.cluster.repair`).
 
 Everything is a pure function of (plan, seed, transfer sequence), so a
 run under faults is exactly as reproducible as a clean run.
@@ -154,6 +159,15 @@ class FaultPlan:
     remote_stall_extra_us: float = 20.0
     #: Remote-node restart windows (node answers nothing).
     remote_restart: Tuple[Window, ...] = ()
+    #: Permanent-crash timestamps: from ``node_crash[i]`` on, the node
+    #: struck by crash *i* answers nothing and its stored pages are lost.
+    #: On a cluster, crash *i* lands on node ``i % nodes`` (like windows).
+    node_crash: Tuple[float, ...] = ()
+    #: Optional rejoin timestamps, paired by index with ``node_crash``:
+    #: ``node_rejoin[i]`` re-admits the node struck by crash *i* — empty,
+    #: as a fresh machine racked in to replace the dead one.  Fewer
+    #: rejoins than crashes means the unpaired crashes are forever.
+    node_rejoin: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("timeout_probability", "write_timeout_probability"):
@@ -169,6 +183,26 @@ class FaultPlan:
         object.__setattr__(self, "degraded", _epochs(self.degraded))
         object.__setattr__(self, "remote_stall", _windows(self.remote_stall))
         object.__setattr__(self, "remote_restart", _windows(self.remote_restart))
+        object.__setattr__(
+            self, "node_crash", tuple(float(t) for t in self.node_crash)
+        )
+        object.__setattr__(
+            self, "node_rejoin", tuple(float(t) for t in self.node_rejoin)
+        )
+        if len(self.node_rejoin) > len(self.node_crash):
+            raise ValueError(
+                f"{len(self.node_rejoin)} node_rejoin times for only "
+                f"{len(self.node_crash)} node_crash times"
+            )
+        for index, rejoin in enumerate(self.node_rejoin):
+            if rejoin <= self.node_crash[index]:
+                raise ValueError(
+                    f"node_rejoin[{index}]={rejoin} must come after "
+                    f"node_crash[{index}]={self.node_crash[index]}"
+                )
+        for crash in self.node_crash:
+            if crash < 0:
+                raise ValueError(f"node_crash times must be >= 0, got {crash}")
 
     @property
     def is_empty(self) -> bool:
@@ -181,6 +215,7 @@ class FaultPlan:
             and not self.degraded
             and not self.remote_stall
             and not self.remote_restart
+            and not self.node_crash
         )
 
     # -- construction helpers ---------------------------------------------------------
@@ -207,23 +242,54 @@ class FaultPlan:
         )
 
     @classmethod
+    def crash(cls, seed: int = 1, at_us: float = 30_000.0) -> "FaultPlan":
+        """One permanent node crash mid-run and nothing else: the
+        cleanest way to exercise detect -> repair -> (maybe) lose."""
+        return cls(seed=seed, node_crash=(at_us,))
+
+    @classmethod
+    def crash_rejoin(
+        cls,
+        seed: int = 1,
+        at_us: float = 30_000.0,
+        rejoin_us: float = 80_000.0,
+    ) -> "FaultPlan":
+        """A crash whose node is replaced (empty) later in the run, so
+        the full DOWN -> repair -> REJOINING -> UP lifecycle runs."""
+        return cls(seed=seed, node_crash=(at_us,), node_rejoin=(rejoin_us,))
+
+    #: Field -> converter used by :meth:`from_dict` so a malformed JSON
+    #: plan fails naming the offending field, not with a bare TypeError.
+    _FIELD_PARSERS = {
+        "seed": int,
+        "timeout_probability": float,
+        "write_timeout_probability": float,
+        "timeout_us": float,
+        "link_down": _windows,
+        "prefetch_down": _windows,
+        "degraded": _epochs,
+        "remote_stall": _windows,
+        "remote_stall_extra_us": float,
+        "remote_restart": _windows,
+        "node_crash": lambda raw: tuple(float(t) for t in raw),
+        "node_rejoin": lambda raw: tuple(float(t) for t in raw),
+    }
+
+    @classmethod
     def from_dict(cls, data: Dict) -> "FaultPlan":
-        known = {
-            "seed",
-            "timeout_probability",
-            "write_timeout_probability",
-            "timeout_us",
-            "link_down",
-            "prefetch_down",
-            "degraded",
-            "remote_stall",
-            "remote_stall_extra_us",
-            "remote_restart",
-        }
-        unknown = set(data) - known
+        unknown = set(data) - set(cls._FIELD_PARSERS)
         if unknown:
             raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
-        return cls(**data)
+        parsed = {}
+        for key, value in data.items():
+            try:
+                parsed[key] = cls._FIELD_PARSERS[key](value)
+            except (TypeError, ValueError, IndexError) as error:
+                raise ValueError(
+                    f"fault-plan field {key!r} is malformed "
+                    f"({value!r}): {error}"
+                ) from None
+        return cls(**parsed)
 
     @classmethod
     def from_json_file(cls, path: str) -> "FaultPlan":
@@ -246,6 +312,8 @@ class FaultPlan:
             "remote_stall": [[w.start_us, w.end_us] for w in self.remote_stall],
             "remote_stall_extra_us": self.remote_stall_extra_us,
             "remote_restart": [[w.start_us, w.end_us] for w in self.remote_restart],
+            "node_crash": list(self.node_crash),
+            "node_rejoin": list(self.node_rejoin),
         }
 
 
@@ -270,12 +338,17 @@ class FaultInjector:
         self.degraded_transfers = 0
         self.remote_stalls = 0
         self.remote_unavailable = 0
+        self.crash_refusals = 0
 
     # -- fabric hooks -----------------------------------------------------------------
 
     def check_transfer(self, now_us: float, kind: str) -> None:
         """Raise :class:`TransferTimeout` when this transfer is dropped
-        (link-down window, or the per-transfer seeded coin)."""
+        (dead node, link-down window, or the per-transfer seeded coin)."""
+        if self.node_dead(now_us):
+            self.crash_refusals += 1
+            self._count_drop(kind)
+            raise RemoteUnavailableError(kind, now_us, self.plan.timeout_us)
         for window in self.plan.link_down:
             if window.contains(now_us):
                 self.link_down_drops += 1
@@ -308,8 +381,22 @@ class FaultInjector:
 
     # -- remote-node hooks ------------------------------------------------------------
 
+    def node_dead(self, now_us: float) -> bool:
+        """True while a permanent crash holds: some ``node_crash[i]`` has
+        struck and its paired ``node_rejoin[i]`` (if any) has not."""
+        for index, crash in enumerate(self.plan.node_crash):
+            if crash <= now_us:
+                rejoins = self.plan.node_rejoin
+                if index >= len(rejoins) or now_us < rejoins[index]:
+                    return True
+        return False
+
     def check_remote(self, now_us: float) -> None:
-        """Raise :class:`RemoteUnavailableError` during restart windows."""
+        """Raise :class:`RemoteUnavailableError` during restart windows
+        and after a permanent crash (until its rejoin, if any)."""
+        if self.node_dead(now_us):
+            self.crash_refusals += 1
+            raise RemoteUnavailableError("remote", now_us, self.plan.timeout_us)
         for window in self.plan.remote_restart:
             if window.contains(now_us):
                 self.remote_unavailable += 1

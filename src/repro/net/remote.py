@@ -12,6 +12,11 @@ inside a remote-restart window raise
 slot leaks are visible: at any moment
 
     pages_written == pages_stored + pages_overwritten + pages_released
+                     + pages_lost
+
+where ``pages_lost`` counts pages wiped by a permanent node crash
+(:meth:`RemoteMemoryNode.crash`) — the only way a written page can
+leave the store without being read back or released.
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ class RemoteMemoryNode:
         self.pages_read = 0
         self.pages_overwritten = 0
         self.pages_released = 0
+        self.pages_lost = 0
+        self.crashes = 0
 
     def write(
         self, slot: int, pid: int, vpn: int, now_us: Optional[float] = None
@@ -69,6 +76,15 @@ class RemoteMemoryNode:
         if self._slots.pop(slot, None) is not None:
             self.pages_released += 1
 
+    def crash(self) -> int:
+        """The node died: every stored page is gone.  Returns how many
+        pages were wiped; accounting stays conserved via ``pages_lost``."""
+        wiped = len(self._slots)
+        self._slots.clear()
+        self.pages_lost += wiped
+        self.crashes += 1
+        return wiped
+
     def holds(self, slot: int) -> bool:
         return slot in self._slots
 
@@ -79,9 +95,12 @@ class RemoteMemoryNode:
     @property
     def conserved(self) -> bool:
         """The slot-conservation invariant: every written page is still
-        stored, was overwritten, or was released."""
+        stored, was overwritten, was released, or died in a crash."""
         return self.pages_written == (
-            self.pages_stored + self.pages_overwritten + self.pages_released
+            self.pages_stored
+            + self.pages_overwritten
+            + self.pages_released
+            + self.pages_lost
         )
 
     def stats_snapshot(self) -> Dict[str, int]:
@@ -94,6 +113,7 @@ class RemoteMemoryNode:
             "pages_read": self.pages_read,
             "pages_overwritten": self.pages_overwritten,
             "pages_released": self.pages_released,
+            "pages_lost": self.pages_lost,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -15,7 +15,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import FaultTimePrefetcher
-from repro.cluster.cluster import ClusterConfig, ClusterNode, RemoteMemoryCluster
+from repro.cluster.cluster import (
+    ClusterConfig,
+    ClusterNode,
+    PageLostError,
+    RemoteMemoryCluster,
+)
+from repro.cluster.health import (
+    EVENT_DOWN,
+    EVENT_REJOIN,
+    HealthConfig,
+    HealthEvent,
+    HealthMonitor,
+)
+from repro.cluster.repair import RepairConfig, RepairEngine
 from repro.common.constants import (
     BLOCK_SHIFT,
     PAGE_SHIFT,
@@ -46,6 +59,7 @@ from repro.net.faults import (
 )
 from repro.net.rdma import FabricConfig, RdmaFabric
 from repro.net.remote import RemoteMemoryNode
+from repro.sim.sanitizer import InvariantSanitizer
 
 PAGE_OFFSET_MASK = (1 << PAGE_SHIFT) - 1
 
@@ -84,6 +98,17 @@ class MachineConfig:
     #: replication) is byte-identical to the pre-cluster single-node
     #: path; ``remote_capacity_pages`` is split evenly across nodes.
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: Health-monitor detection knobs (only used when recovery is armed,
+    #: i.e. when ``fault_plan`` is not None — an *empty* plan arms the
+    #: monitor and drain machinery without injecting any fault).
+    health: HealthConfig = field(default_factory=HealthConfig)
+    #: Repair-traffic shaping for background re-replication.
+    repair: RepairConfig = field(default_factory=RepairConfig)
+    #: Run the cross-layer invariant sanitizer at epoch boundaries and
+    #: after every recovery event.  Opt-in: each sweep walks every PTE.
+    check_invariants: bool = False
+    #: Accesses between sanitizer sweeps when ``check_invariants`` is on.
+    sanitizer_interval_accesses: int = 2000
 
 
 class Machine:
@@ -115,6 +140,22 @@ class Machine:
         self.frames = FrameAllocator(total_frames=1 << 24)
         self.swap_space = SwapSpace()
         self.swapcache = SwapCache()
+        #: Recovery is armed iff a fault plan was given at all — an
+        #: *empty* plan arms the monitor/repair/drain machinery without
+        #: injecting faults; ``fault_plan=None`` leaves ``health`` unset
+        #: and every pre-recovery code path byte-identical.
+        self.health: Optional[HealthMonitor] = None
+        self.repair: Optional[RepairEngine] = None
+        if plan is not None:
+            self.health = HealthMonitor(self.cluster, config.health)
+            self.cluster.health = self.health
+            self.repair = RepairEngine(
+                self.cluster, self.health, self.swap_space, config.repair
+            )
+        self.sanitizer: Optional[InvariantSanitizer] = (
+            InvariantSanitizer(self) if config.check_invariants else None
+        )
+        self._sanitize_after_recovery = False
         self.cgroups = CgroupManager()
         self.reclaimer = Reclaimer(config.reclaim_batch, config.watermark_slack)
         self.vmas = VmaRegistry()
@@ -152,6 +193,13 @@ class Machine:
         self.retry_latency_us = 0.0
         self.dropped_prefetches = 0
         self.dropped_by_tier: Dict[str, int] = {}
+        # Recovery counters (all exactly 0 without node crashes/drains).
+        #: Demand faults on a page whose every replica died: resolved by
+        #: mapping a zero-filled frame (the data is gone).
+        self.pages_zero_filled = 0
+        #: Swapcache pages whose remote copy was lost but whose local
+        #: copy survived: re-written back instead of clean-dropped.
+        self.pages_salvaged = 0
 
         if hopp is not None:
             self.controller.add_tap(hopp.on_mc_access)
@@ -216,6 +264,15 @@ class Machine:
         self.accesses += 1
         if self._arrivals and self._arrivals[0][0] <= self.now_us:
             self._process_arrivals(self.now_us)
+        if self.health is not None:
+            self._apply_health_events(self.health.tick(self.now_us))
+            self.repair.pump(self.now_us)
+        if self.sanitizer is not None and (
+            self._sanitize_after_recovery
+            or self.accesses % self.config.sanitizer_interval_accesses == 0
+        ):
+            self._sanitize_after_recovery = False
+            self.sanitizer.check()
 
         vpn = vaddr >> PAGE_SHIFT
         table = self._page_tables[pid]
@@ -309,12 +366,24 @@ class Machine:
         ppn = self.frames.allocate(pid, vpn)
         pte.ppn = ppn
         slot = pte.swap_slot
-        if self.faults is None:
+        if self._slot_is_lost(slot):
+            # Every replica died with its node: nothing to fetch.  Map a
+            # zero-filled frame and carry on — the disaggregated-memory
+            # analogue of an uncorrectable machine check.
+            rdma_wait = 0.0
+            self.pages_zero_filled += 1
+        elif self.faults is None:
             node = self.cluster.primary_node(slot)
             completion = node.fabric.read_page(self.now_us, priority=True)
             rdma_wait = completion - self.now_us
         else:
-            rdma_wait = self._demand_fetch_resilient(pid, vpn, slot)
+            try:
+                rdma_wait = self._demand_fetch_resilient(pid, vpn, slot)
+            except PageLostError as gone:
+                # The loss was discovered by this very fault's retries:
+                # the detection latency is paid, then zero-fill.
+                rdma_wait = gone.waited_us
+                self.pages_zero_filled += 1
         table.map_page(vpn, ppn)
         self._release_remote_copy(pid, vpn, slot)
         self._lru_of_pid(pid).insert(pid, vpn)
@@ -374,12 +443,24 @@ class Machine:
                 if slot is not None and slot >= 0:
                     node.remote.read(slot, now_us=t)
                 stall = node.injector.remote_delay_us(t)
+                if self.health is not None:
+                    self.health.observe_success(node.node_id, t)
                 return waited + (completion - t) + stall
             except TransferTimeout as fault:
                 self.timeouts += 1
                 attempts += 1
                 if self.hopp is not None:
                     self.hopp.on_fabric_timeout(t)
+                if self.health is not None:
+                    self._apply_health_events(
+                        self.health.observe_timeout(node.node_id, t)
+                    )
+                    if slot is not None and slot >= 0 and self.cluster.is_lost(slot):
+                        # The timeout just exposed a permanent crash and
+                        # this slot had no surviving replica.
+                        raise PageLostError(
+                            pid, vpn, slot, waited_us=waited + fault.wasted_us
+                        ) from fault
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
@@ -415,6 +496,10 @@ class Machine:
             return None
         pte = table.entry(vpn)
         if pte.state != PteState.REMOTE:
+            return None
+        if self._slot_is_lost(pte.swap_slot):
+            # Every replica died; nothing remote to fetch — the demand
+            # path will zero-fill on first touch.
             return None
         self._ensure_headroom(pid)
         cgroup = self._cgroup_of[pid]
@@ -475,6 +560,7 @@ class Machine:
             vpn
             for vpn in range(max(start_vpn, 0), start_vpn + npages)
             if table.entry(vpn).state == PteState.REMOTE
+            and not self._slot_is_lost(table.entry(vpn).swap_slot)
         ]
         if not fetchable:
             return None
@@ -611,13 +697,25 @@ class Machine:
         wasted = pte.prefetched
         was_prefetch_charge = False
         if pte.state == PteState.SWAPCACHE:
-            # Clean: the remote copy at its slot is still valid.
             self.swapcache.drop(pid, vpn)
+            if self._slot_is_lost(pte.swap_slot):
+                # The remote copy died with its node; this swapcache
+                # page is the last copy left.  Write it back to a fresh
+                # slot instead of clean-dropping it (that would turn a
+                # recoverable crash into data loss).
+                self._release_remote_copy(pid, vpn)
+                slot = self.swap_space.allocate(pid, vpn)
+                self._writeback_resilient(slot, pid, vpn)
+                pte.swap_slot = slot
+                self.pages_salvaged += 1
+                clean = 0
+            else:
+                # Clean: the remote copy at its slot is still valid.
+                clean = 1
             self.frames.free(pte.ppn)
             pte.ppn = -1
             pte.state = PteState.REMOTE
             was_prefetch_charge = True
-            clean = 1
         elif pte.state == PteState.PRESENT:
             ppn = pte.ppn
             table.unmap_page(vpn)
@@ -682,10 +780,16 @@ class Machine:
             try:
                 node.fabric.write_page(t)
                 node.remote.write(slot, pid, vpn, now_us=t)
+                if self.health is not None:
+                    self.health.observe_success(node.node_id, t)
                 return
             except TransferTimeout as fault:
                 self.timeouts += 1
                 attempts += 1
+                if self.health is not None:
+                    self._apply_health_events(
+                        self.health.observe_timeout(node.node_id, t)
+                    )
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
@@ -716,6 +820,54 @@ class Machine:
             self.cluster.release(slot)
             self.swap_space.free(slot)
             pte.swap_slot = -1
+
+    def _slot_is_lost(self, slot: Optional[int]) -> bool:
+        """Whether every replica of ``slot`` died with its node(s)."""
+        return slot is not None and slot >= 0 and self.cluster.is_lost(slot)
+
+    def _apply_health_events(self, events: List[HealthEvent]) -> None:
+        """Route monitor events into the repair engine.  The sanitizer
+        run is deferred to the next access boundary — events can fire
+        mid-fault, when the structures are legitimately in transition."""
+        for event, node_id in events:
+            if event == EVENT_DOWN:
+                self.repair.on_node_down(node_id, self.now_us)
+            elif event == EVENT_REJOIN:
+                self.repair.on_node_rejoin(node_id, self.now_us)
+        if events and self.sanitizer is not None:
+            self._sanitize_after_recovery = True
+
+    # -- recovery control ---------------------------------------------------------------
+
+    def drain_node(self, node_id: int) -> None:
+        """Gracefully decommission ``node_id``: stop placing new copies
+        on it and background-evacuate the pages it holds.  Requires
+        recovery to be armed (any ``fault_plan``, even an empty one)."""
+        if self.health is None or self.repair is None:
+            raise RuntimeError(
+                "recovery is not armed: construct the machine with a fault "
+                "plan (an empty FaultPlan() suffices) to enable drain"
+            )
+        self.health.start_drain(node_id, self.now_us)
+        self.repair.on_drain(node_id)
+
+    def flush_recovery(self) -> None:
+        """Drive recovery to quiescence at the current simulated time:
+        force a heartbeat probe, apply its events, run the repair queue
+        dry, and repeat until nothing moves (a drain completion unlocks
+        a rejoin, a rejoin queues top-ups, ...).  No-op when recovery is
+        not armed."""
+        if self.health is None or self.repair is None:
+            return
+        for _ in range(4):
+            events = self.health.tick(self.now_us, force=True)
+            self._apply_health_events(events)
+            if not events and self.repair.idle:
+                break
+            self.repair.flush(self.now_us)
+        if self.sanitizer is not None:
+            self._sanitize_after_recovery = False
+            self.sanitizer.check()
 
     def _node_for_page(self, pte: Pte) -> ClusterNode:
         """The node holding a REMOTE page's primary copy (node 0 when

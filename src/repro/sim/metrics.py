@@ -71,6 +71,32 @@ class RunResult:
     replica_writes: int = 0
     #: Per-node fabric/remote counter snapshots (one dict per node).
     node_stats: list = field(default_factory=list)
+    #: Self-healing / recovery observability (all exactly 0 without node
+    #: crashes, drains, or ``--check-invariants``).
+    #: Permanent node crashes detected by the health monitor.
+    node_crashes: int = 0
+    #: Nodes re-admitted after a crash (``node_rejoin``) or a drain.
+    node_rejoins: int = 0
+    #: Under-replicated pages copied onto a live node by the repair engine.
+    pages_repaired: int = 0
+    #: Pages whose every replica died with its node (unrecoverable).
+    pages_lost: int = 0
+    #: Demand faults on lost pages resolved by mapping a zeroed frame.
+    pages_zero_filled: int = 0
+    #: Swapcache pages re-written back because their remote copy was lost.
+    pages_salvaged: int = 0
+    #: Pages evacuated off DRAINING nodes.
+    pages_drained: int = 0
+    #: Background repair traffic (bulk READs + WRITEs, and their bytes).
+    repair_reads: int = 0
+    repair_writes: int = 0
+    repair_bytes: int = 0
+    #: Repair tasks re-queued after their transfer timed out.
+    repair_retries: int = 0
+    #: Directory lookups of slots with no entry (typed error path).
+    directory_misses: int = 0
+    #: Cross-layer sanitizer sweeps that ran (and passed) this run.
+    invariant_checks: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -185,6 +211,21 @@ class RunResult:
                 "writeback_reroutes": self.writeback_reroutes,
                 "replica_writes": self.replica_writes,
                 "per_node": list(self.node_stats),
+            },
+            "recovery": {
+                "node_crashes": self.node_crashes,
+                "node_rejoins": self.node_rejoins,
+                "pages_repaired": self.pages_repaired,
+                "pages_lost": self.pages_lost,
+                "pages_zero_filled": self.pages_zero_filled,
+                "pages_salvaged": self.pages_salvaged,
+                "pages_drained": self.pages_drained,
+                "repair_reads": self.repair_reads,
+                "repair_writes": self.repair_writes,
+                "repair_bytes": self.repair_bytes,
+                "repair_retries": self.repair_retries,
+                "directory_misses": self.directory_misses,
+                "invariant_checks": self.invariant_checks,
             },
             "accuracy": self.accuracy,
             "coverage": self.coverage,

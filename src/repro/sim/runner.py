@@ -33,6 +33,7 @@ def make_machine(
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     cluster: Optional[ClusterConfig] = None,
+    check_invariants: bool = False,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -46,6 +47,7 @@ def make_machine(
         compute_us_per_access=workload.compute_us_per_access,
         fault_plan=fault_plan,
         cluster=cluster or ClusterConfig(),
+        check_invariants=check_invariants,
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -89,7 +91,23 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         writeback_reroutes=machine.cluster.writeback_reroutes,
         replica_writes=machine.cluster.replica_writes,
         node_stats=[node.stats_snapshot() for node in machine.cluster.nodes],
+        pages_zero_filled=machine.pages_zero_filled,
+        pages_salvaged=machine.pages_salvaged,
+        directory_misses=machine.cluster.directory_misses,
     )
+    if machine.health is not None:
+        result.node_crashes = machine.health.node_crashes
+        result.node_rejoins = machine.health.node_rejoins
+    if machine.repair is not None:
+        result.pages_repaired = machine.repair.pages_repaired
+        result.pages_lost = machine.repair.pages_lost
+        result.pages_drained = machine.repair.pages_drained
+        result.repair_reads = machine.repair.repair_reads
+        result.repair_writes = machine.repair.repair_writes
+        result.repair_bytes = machine.repair.repair_bytes
+        result.repair_retries = machine.repair.repair_retries
+    if machine.sanitizer is not None:
+        result.invariant_checks = machine.sanitizer.checks_run
     if machine.hopp is not None:
         plane = machine.hopp
         if plane.executor.breaker is not None:
@@ -118,13 +136,23 @@ def run(
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     cluster: Optional[ClusterConfig] = None,
+    check_invariants: bool = False,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point."""
     spec = _resolve(system)
     machine = make_machine(
-        workload, spec, local_memory_fraction, fabric, fault_plan, cluster
+        workload,
+        spec,
+        local_memory_fraction,
+        fabric,
+        fault_plan,
+        cluster,
+        check_invariants,
     )
     machine.run(workload.trace())
+    # Let in-flight recovery converge before measuring (no-op unless a
+    # fault plan armed it, and free of events unless a node crashed).
+    machine.flush_recovery()
     return collect(machine, spec.name, workload.name)
 
 
@@ -158,6 +186,7 @@ def compare(
     fabric: Optional[FabricConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
     cluster: Optional[ClusterConfig] = None,
+    check_invariants: bool = False,
 ) -> Comparison:
     """Run one workload under several systems on identical traces.
 
@@ -170,6 +199,12 @@ def compare(
     )
     for name in system_names:
         comparison.results[name] = run(
-            workload, name, local_memory_fraction, fabric, fault_plan, cluster
+            workload,
+            name,
+            local_memory_fraction,
+            fabric,
+            fault_plan,
+            cluster,
+            check_invariants,
         )
     return comparison

@@ -85,6 +85,42 @@ class TestFaultPlanValidation:
         path.write_text(json.dumps(FaultPlan.chaos(seed=5).to_dict()))
         assert FaultPlan.from_json_file(str(path)) == FaultPlan.chaos(seed=5)
 
+    def test_round_trip_covers_every_field(self, tmp_path):
+        # A plan exercising every serializable field, crash/rejoin
+        # included, survives to_dict -> JSON -> from_json_file intact.
+        plan = FaultPlan(
+            seed=9,
+            timeout_probability=0.1,
+            write_timeout_probability=0.05,
+            timeout_us=40.0,
+            link_down=((10.0, 20.0),),
+            prefetch_down=((30.0, 40.0),),
+            degraded=((50.0, 60.0, 3.0),),
+            remote_stall=((70.0, 80.0),),
+            remote_stall_extra_us=15.0,
+            remote_restart=((90.0, 100.0),),
+            node_crash=(200.0, 300.0),
+            node_rejoin=(250.0,),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        path = tmp_path / "full.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_json_file(str(path)) == plan
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("node_crash", "not-a-list"),
+            ("node_rejoin", [["nested"]]),
+            ("link_down", [[1.0]]),  # a window needs two endpoints
+            ("degraded", [[1.0, 2.0]]),  # an epoch needs a factor
+            ("timeout_us", "soon"),
+        ],
+    )
+    def test_malformed_field_is_named_in_the_error(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan.from_dict({field: value})
+
 
 class TestFaultInjector:
     def test_link_down_window_drops_everything(self):

@@ -31,6 +31,35 @@ class TestRun:
     def test_unknown_system_fails(self):
         assert main(["run", "-w", "stream-simple", "-s", "bogus"]) == 2
 
+    def test_crash_preset_prints_recovery_rows(self, capsys):
+        code = main([
+            "run", "-w", "quicksort", "-s", "noprefetch", "-f", "0.5",
+            "--fault-plan", "crash", "--remote-nodes", "3",
+            "--replication", "2", "--check-invariants",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node crashes / rejoins" in out
+        assert "pages repaired" in out
+        assert "invariant checks passed" in out
+
+    def test_bad_crash_seed_fails(self, capsys):
+        assert main([
+            "run", "-w", "stream-simple", "--fault-plan", "crash:soon",
+        ]) == 2
+        assert "crash:<int>" in capsys.readouterr().err
+
+
+class TestFaultPlanPresets:
+    def test_crash_presets_resolve(self):
+        from repro.cli import _load_fault_plan
+
+        assert _load_fault_plan("crash", 3).node_crash
+        assert _load_fault_plan("crash:7", 3).seed == 7
+        plan = _load_fault_plan("crash-rejoin:2", 3)
+        assert plan.seed == 2 and plan.node_rejoin
+        assert _load_fault_plan("chaos", 3).node_crash == ()
+
 
 class TestCompare:
     def test_compare_table(self, capsys):

@@ -20,6 +20,7 @@ from repro.cluster import (
     ClusterConfig,
     PlacementPolicy,
     RemoteMemoryCluster,
+    SlotDirectoryError,
     build_placement,
     placement_names,
     register_placement,
@@ -165,9 +166,19 @@ class TestSlotDirectory:
         assert cluster.holders_of(5) == (1, 2, 3)
         assert cluster.primary_node(5).node_id == 1
 
-    def test_read_candidates_fall_back_to_node_zero(self):
+    def test_read_candidates_raise_for_unknown_slot(self):
+        # The pre-self-healing silent node-0 fallback masked directory
+        # corruption; an unplaced slot is now a typed, counted error.
         cluster = _cluster(nodes=3)
-        assert [n.node_id for n in cluster.read_candidates(99)] == [0]
+        with pytest.raises(SlotDirectoryError):
+            cluster.read_candidates(99)
+        with pytest.raises(SlotDirectoryError):
+            cluster.primary_node(99)
+        assert cluster.directory_misses == 2
+
+    def test_slot_directory_error_is_a_key_error(self):
+        # Callers that caught KeyError before the typed error keep working.
+        assert issubclass(SlotDirectoryError, KeyError)
 
     def test_release_drops_every_replica(self):
         cluster = _cluster(nodes=3, replication=2)

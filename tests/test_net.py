@@ -162,6 +162,7 @@ class TestStatsSnapshots:
             "pages_read": 0,
             "pages_overwritten": 1,
             "pages_released": 1,
+            "pages_lost": 0,
         }
         # The conservation invariant is readable straight off the dict.
         assert snapshot["pages_written"] == (
