@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Harness throughput benchmark: how fast the simulator itself runs.
+
+Unlike the figure benches (which reproduce the paper's *results*), this
+one measures the reproduction *machinery*:
+
+* single-run throughput in accesses/sec, fast path vs the differential
+  oracle loop (``use_fast_path=False``) — the hot-path speedup;
+* a 16-point sweep grid executed serially vs ``--jobs N`` — the
+  process-pool speedup;
+* the same grid against a cold vs warm result cache — the price of a
+  miss and the (near-zero) price of a hit.
+
+Emits ``BENCH_harness.json`` next to the repo root (or ``--out``) so CI
+can archive throughput over time.  ``--quick`` shrinks the workloads
+for smoke use; published numbers should come from a default run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_harness_throughput.py [--quick]
+        [--jobs N] [--out BENCH_harness.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.exec.cache import ResultCache, TraceCache
+from repro.exec.pool import execute
+from repro.exec.spec import RunSpec
+from repro.net.rdma import FabricConfig
+from repro.sim.runner import make_machine
+from repro.workloads import build
+
+SEED = 7
+
+#: The 16-point grid: 2 workloads x 4 systems x 2 fractions.  The
+#: workloads are the two heaviest traces so each point carries enough
+#: work for the process pool to amortize its startup; --quick swaps in
+#: scaled-down streams.
+GRID_WORKLOADS = ["omp-kmeans", "kv-cache"]
+QUICK_WORKLOADS = ["stream-simple", "stream-ladder"]
+GRID_SYSTEMS = ["noprefetch", "fastswap", "leap", "hopp"]
+GRID_FRACTIONS = [0.25, 0.5]
+
+
+def grid_specs(workloads, workload_kwargs):
+    return [
+        RunSpec(
+            workload=name,
+            system=system,
+            fraction=fraction,
+            seed=SEED,
+            workload_kwargs=dict(workload_kwargs.get(name, {})),
+            fabric=FabricConfig(seed=SEED),
+        )
+        for name in workloads
+        for system in GRID_SYSTEMS
+        for fraction in GRID_FRACTIONS
+    ]
+
+
+def bench_single_run(workload_name, system, workload_kwargs, repeats=3):
+    """Accesses/sec of one simulation, fast path vs oracle loop.
+
+    Takes the minimum over ``repeats`` interleaved runs: the min is the
+    least noise-contaminated estimate of the loop's true cost on a
+    shared machine."""
+    workload = build(workload_name, seed=SEED, **workload_kwargs)
+    trace = list(workload.trace())
+
+    def one(fast):
+        machine = make_machine(workload, system, 0.5, FabricConfig(seed=SEED))
+        start = time.perf_counter()
+        machine.run(trace, use_fast_path=fast)
+        return time.perf_counter() - start
+
+    one(True)  # warm allocator and code paths outside the measurement
+    samples = {"fast_path": [], "oracle_loop": []}
+    for _ in range(repeats):
+        samples["fast_path"].append(one(True))
+        samples["oracle_loop"].append(one(False))
+    timings = {}
+    for label, times in samples.items():
+        best = min(times)
+        timings[label] = {
+            "seconds": best,
+            "accesses": len(trace),
+            "accesses_per_sec": len(trace) / best if best > 0 else 0.0,
+        }
+    timings["speedup"] = (
+        timings["oracle_loop"]["seconds"] / timings["fast_path"]["seconds"]
+    )
+    return timings
+
+
+def bench_grid(specs, jobs):
+    """Wall-clock of the grid, serial vs parallel, both uncached."""
+    start = time.perf_counter()
+    serial = execute(specs, jobs=1, trace_cache=TraceCache())
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = execute(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    identical = all(
+        a.to_dict(full=True) == b.to_dict(full=True)
+        for a, b in zip(serial, parallel)
+    )
+    accesses = sum(r.accesses for r in serial)
+    return {
+        "points": len(specs),
+        "total_accesses": accesses,
+        "serial": {
+            "seconds": serial_s,
+            "accesses_per_sec": accesses / serial_s if serial_s > 0 else 0.0,
+        },
+        "parallel": {
+            "jobs": jobs,
+            "seconds": parallel_s,
+            "accesses_per_sec": accesses / parallel_s if parallel_s > 0 else 0.0,
+        },
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "parallel_equals_serial": identical,
+    }
+
+
+def bench_cache(specs, cache_root):
+    """Wall-clock of the grid against a cold then warm result cache."""
+    cache = ResultCache(cache_root)
+    start = time.perf_counter()
+    cold = execute(specs, cache=cache, trace_cache=TraceCache())
+    cold_s = time.perf_counter() - start
+
+    warm_cache = ResultCache(cache_root)
+    start = time.perf_counter()
+    warm = execute(specs, cache=warm_cache)
+    warm_s = time.perf_counter() - start
+
+    identical = all(
+        a.to_dict(full=True) == b.to_dict(full=True)
+        for a, b in zip(cold, warm)
+    )
+    return {
+        "points": len(specs),
+        "cold": {"seconds": cold_s, "stores": cache.stores},
+        "warm": {"seconds": warm_s, "hits": warm_cache.hits},
+        "speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "warm_equals_cold": identical,
+        "all_hits": warm_cache.hits == len(specs),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", "-j", type=int, default=4)
+    parser.add_argument("--out", "-o", default="BENCH_harness.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink workloads for a CI smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS if args.quick else GRID_WORKLOADS
+    workload_kwargs = (
+        {
+            "stream-simple": {"npages": 256, "passes": 4},
+            "stream-ladder": {"steps": 100, "passes": 2},
+        }
+        if args.quick
+        else {}
+    )
+    specs = grid_specs(workloads, workload_kwargs)
+
+    single_workload = "stream-simple" if args.quick else "omp-kmeans"
+    singles = {}
+    for system in ("hopp", "noprefetch"):
+        print(f"single-run throughput ({single_workload}/{system}@0.5) ...",
+              flush=True)
+        single = bench_single_run(
+            single_workload, system, workload_kwargs.get(single_workload, {}),
+            repeats=1 if args.quick else 3,
+        )
+        singles[system] = single
+        print(
+            f"  fast {single['fast_path']['accesses_per_sec']:,.0f} acc/s, "
+            f"oracle {single['oracle_loop']['accesses_per_sec']:,.0f} acc/s, "
+            f"speedup {single['speedup']:.2f}x"
+        )
+
+    print(f"{len(specs)}-point grid, serial vs --jobs {args.jobs} ...", flush=True)
+    grid = bench_grid(specs, args.jobs)
+    print(
+        f"  serial {grid['serial']['seconds']:.2f}s, parallel "
+        f"{grid['parallel']['seconds']:.2f}s, speedup {grid['speedup']:.2f}x, "
+        f"identical={grid['parallel_equals_serial']}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        print("grid against cold vs warm cache ...", flush=True)
+        cache = bench_cache(specs, tmp)
+    print(
+        f"  cold {cache['cold']['seconds']:.2f}s, warm "
+        f"{cache['warm']['seconds']:.2f}s, speedup {cache['speedup']:.1f}x, "
+        f"all_hits={cache['all_hits']}"
+    )
+
+    payload = {
+        "seed": SEED,
+        "quick": args.quick,
+        # Pool speedup only materializes with real cores to fan out to;
+        # on a 1-CPU host the parallel numbers measure pure overhead.
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "workloads": workloads,
+            "systems": GRID_SYSTEMS,
+            "fractions": GRID_FRACTIONS,
+            "workload_kwargs": workload_kwargs,
+        },
+        "single_run": singles,
+        "sweep": grid,
+        "cache": cache,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    ok = grid["parallel_equals_serial"] and cache["warm_equals_cold"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,14 @@
 """Shared infrastructure for the benchmark harness.
 
 Every bench module regenerates one of the paper's tables or figures and
-prints the same rows/series the paper reports.  Simulation runs are
-memoized process-wide so benches that share runs (e.g. Figures 9-11)
-do not recompute them; the pytest-benchmark timing wraps exactly one
-representative uncached simulation per bench.
+prints the same rows/series the paper reports.  Simulation runs go
+through the execution engine's persistent on-disk cache (keyed by
+workload config, system, fraction, fabric and the code-schema version —
+see ``repro.exec.cache``) layered under a process-wide memo, so benches
+that share runs (e.g. Figures 9-11) do not recompute them within a
+session *or* across sessions.  Set ``REPRO_NO_CACHE=1`` to force fresh
+runs, or ``REPRO_CACHE_DIR`` to relocate the store; the pytest-benchmark
+timing wraps exactly one representative uncached simulation per bench.
 
 Absolute numbers are simulator artifacts; the *shapes* — who wins, by
 roughly what factor, where the knees fall — are the reproduction targets
@@ -13,10 +17,13 @@ roughly what factor, where the knees fall — are the reproduction targets
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import os
+from typing import Dict, Iterable, Optional, Tuple
 
+from repro.exec.cache import ResultCache, TraceCache
+from repro.exec.pool import execute, local_ct_spec
+from repro.exec.spec import RunSpec
 from repro.net.rdma import FabricConfig
-from repro.sim import runner
 from repro.sim.metrics import RunResult
 from repro.sim.multiprogram import run_corun
 from repro.workloads import build
@@ -35,22 +42,37 @@ def paper_fraction(workload_name: str) -> float:
 
 
 _FABRIC = FabricConfig(seed=SEED)
-_RESULTS: Dict[Tuple[str, str, float], RunResult] = {}
+_MEMO: Dict[Tuple[str, str, float], RunResult] = {}
 _LOCAL_CT: Dict[str, float] = {}
+_TRACES = TraceCache()
+_CACHE: Optional[ResultCache] = (
+    None if os.environ.get("REPRO_NO_CACHE") else ResultCache()
+)
+
+
+def _run_one(spec: RunSpec) -> RunResult:
+    return execute([spec], cache=_CACHE, trace_cache=_TRACES)[0]
 
 
 def get_result(workload_name: str, system: str, fraction: float) -> RunResult:
     key = (workload_name, system, fraction)
-    if key not in _RESULTS:
-        workload = build(workload_name, seed=SEED)
-        _RESULTS[key] = runner.run(workload, system, fraction, _FABRIC)
-    return _RESULTS[key]
+    if key not in _MEMO:
+        _MEMO[key] = _run_one(
+            RunSpec(
+                workload=workload_name,
+                system=system,
+                fraction=fraction,
+                seed=SEED,
+                fabric=_FABRIC,
+            )
+        )
+    return _MEMO[key]
 
 
 def local_ct(workload_name: str) -> float:
     if workload_name not in _LOCAL_CT:
-        workload = build(workload_name, seed=SEED)
-        _LOCAL_CT[workload_name] = runner.local_completion_time(workload, _FABRIC)
+        result = _run_one(local_ct_spec(workload_name, SEED, _FABRIC))
+        _LOCAL_CT[workload_name] = result.completion_time_us
     return _LOCAL_CT[workload_name]
 
 
@@ -68,11 +90,13 @@ def speedup(workload_name: str, system: str, baseline: str, fraction: float) -> 
 
 
 def corun_result(names: Iterable[str], system: str, fraction: float = 0.5) -> RunResult:
+    # Co-runs mix several seeded workloads; they stay memo-only because
+    # run_corun is not expressible as a single RunSpec.
     key = ("+".join(names), system, fraction)
-    if key not in _RESULTS:
+    if key not in _MEMO:
         workloads = [build(name, seed=SEED + i) for i, name in enumerate(names)]
-        _RESULTS[key] = run_corun(workloads, system, fraction, _FABRIC, seed=SEED)
-    return _RESULTS[key]
+        _MEMO[key] = run_corun(workloads, system, fraction, _FABRIC, seed=SEED)
+    return _MEMO[key]
 
 
 def time_one(benchmark, fn):

@@ -5,8 +5,15 @@ Commands
 list                 show registered workloads and systems
 run                  run one workload under one system, print metrics
 compare              run one workload under several systems
+sweep                run a (workload x system x fraction) grid
 trace                capture a workload's HMTT trace to a file
 analyze              classify a trace's stream patterns
+
+Simulation commands go through the execution engine: results are cached
+on disk keyed by the full run configuration (``--no-cache`` to opt out,
+``--cache-dir`` to relocate), ``compare``/``sweep`` fan points out over
+``--jobs`` worker processes, and ``run --profile`` reports where the
+wall-clock went by simulator component.
 """
 
 from __future__ import annotations
@@ -15,11 +22,15 @@ import argparse
 import itertools
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.patterns import analyze_trace, page_sequence
 from repro.analysis.report import render_table
 from repro.cluster import ClusterConfig, placement_names
+from repro.exec.cache import ResultCache
+from repro.exec.pool import execute, local_ct_spec
+from repro.exec.spec import RunSpec
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import runner, systems
@@ -60,6 +71,25 @@ def _build_parser() -> argparse.ArgumentParser:
                  "each sweep walks every page-table entry)",
         )
 
+    def add_cache_args(p):
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result-cache directory (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro-hopp)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="always simulate; neither read nor write the result "
+                 "cache",
+        )
+
+    def add_jobs_arg(p):
+        p.add_argument(
+            "--jobs", "-j", type=int, default=1, metavar="N",
+            help="run independent points over N worker processes "
+                 "(results are byte-identical to a serial run)",
+        )
+
     def add_cluster_args(p):
         p.add_argument(
             "--remote-nodes", type=int, default=1, metavar="N",
@@ -80,18 +110,49 @@ def _build_parser() -> argparse.ArgumentParser:
     add_run_args(run_parser)
     add_fault_args(run_parser)
     add_cluster_args(run_parser)
+    add_cache_args(run_parser)
     run_parser.add_argument("--system", "-s", default="hopp")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the full result as JSON")
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run and report time shares by simulator "
+             "component (forces a fresh simulation)",
+    )
 
     compare_parser = sub.add_parser("compare", help="compare systems")
     add_run_args(compare_parser)
     add_fault_args(compare_parser)
     add_cluster_args(compare_parser)
+    add_cache_args(compare_parser)
+    add_jobs_arg(compare_parser)
     compare_parser.add_argument(
         "--systems", default="fastswap,hopp",
         help="comma-separated system names",
     )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a (workload x system x fraction) grid"
+    )
+    sweep_parser.add_argument(
+        "--workloads", "-w", required=True,
+        help="comma-separated workload names",
+    )
+    sweep_parser.add_argument(
+        "--systems", "-s", default="fastswap,hopp",
+        help="comma-separated system names",
+    )
+    sweep_parser.add_argument(
+        "--fractions", "-f", default="0.25,0.5",
+        help="comma-separated local-memory fractions",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument(
+        "--metrics", default="normalized_performance,accuracy,coverage",
+        help="comma-separated metric columns",
+    )
+    add_cache_args(sweep_parser)
+    add_jobs_arg(sweep_parser)
 
     trace_parser = sub.add_parser("trace", help="capture an HMTT trace")
     add_run_args(trace_parser)
@@ -157,6 +218,14 @@ def _cluster_config(args) -> ClusterConfig:
     )
 
 
+def _make_cache(args) -> Optional[ResultCache]:
+    """The result cache selected by --cache-dir/--no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache_dir", None)
+    return ResultCache(Path(root)) if root else ResultCache()
+
+
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name in workload_names():
@@ -171,15 +240,33 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     cluster = _cluster_config(args)
-    ct_local = runner.local_completion_time(workload, fabric)
-    result = runner.run(
-        workload, args.system, args.fraction, fabric, fault_plan, cluster,
+    cache = _make_cache(args)
+    spec = RunSpec(
+        workload=args.workload,
+        system=args.system,
+        fraction=args.fraction,
+        seed=args.seed,
+        fabric=fabric,
+        fault_plan=fault_plan,
+        cluster=cluster,
         check_invariants=args.check_invariants,
     )
+    ct_local = execute(
+        [local_ct_spec(args.workload, args.seed, fabric)], cache=cache
+    )[0].completion_time_us
+    report = None
+    if args.profile:
+        from repro.exec.profile import profile_spec
+
+        report = profile_spec(spec)
+        result = report.result
+        if cache is not None:
+            cache.put(spec, result)
+    else:
+        result = execute([spec], cache=cache)[0]
     if args.json:
         payload = result.to_dict()
         payload["normalized_performance"] = result.normalized_performance(ct_local)
@@ -237,26 +324,44 @@ def _cmd_run(args) -> int:
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
                              f"(local={args.fraction:.0%})"))
+    if report is not None:
+        print(render_table(
+            ["component", "seconds", "share"], report.rows(),
+            title=f"wall-clock by component ({report.total_s:.2f}s total)",
+        ))
     return 0
 
 
 def _cmd_compare(args) -> int:
-    workload = build_workload(args.workload, seed=args.seed)
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     cluster = _cluster_config(args)
+    cache = _make_cache(args)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
-    comparison = runner.compare(
-        workload, names, args.fraction, fabric, fault_plan, cluster,
-        check_invariants=args.check_invariants,
-    )
+    # CT_local first (always fault-free, single-node: it is the
+    # yardstick, not the condition under test), then one point per
+    # system — a single batch so --jobs overlaps them all.
+    specs = [local_ct_spec(args.workload, args.seed, fabric)] + [
+        RunSpec(
+            workload=args.workload,
+            system=name,
+            fraction=args.fraction,
+            seed=args.seed,
+            fabric=fabric,
+            fault_plan=fault_plan,
+            cluster=cluster,
+            check_invariants=args.check_invariants,
+        )
+        for name in names
+    ]
+    outputs = execute(specs, jobs=args.jobs, cache=cache)
+    ct_local_us = outputs[0].completion_time_us
     rows = []
-    for name in names:
-        result = comparison.results[name]
+    for name, result in zip(names, outputs[1:]):
         rows.append(
             [
                 name,
-                comparison.normalized_performance(name),
+                result.normalized_performance(ct_local_us),
                 result.accuracy,
                 result.coverage,
                 result.page_faults,
@@ -266,7 +371,34 @@ def _cmd_compare(args) -> int:
         ["system", "norm-perf", "accuracy", "coverage", "faults"],
         rows,
         title=f"{args.workload} (local={args.fraction:.0%}, "
-              f"CT_local={comparison.ct_local_us:.0f} us)",
+              f"CT_local={ct_local_us:.0f} us)",
+    ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweeps import sweep
+
+    workloads = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    system_names = [n.strip() for n in args.systems.split(",") if n.strip()]
+    fractions = [float(f) for f in args.fractions.split(",") if f.strip()]
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    result = sweep(
+        workloads=workloads,
+        systems=system_names,
+        fractions=fractions,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+    rows = [
+        row[:3] + [f"{value:.3f}" for value in row[3:]]
+        for row in result.to_rows(metrics)
+    ]
+    print(render_table(
+        ["workload", "system", "fraction"] + metrics, rows,
+        title=f"{len(result.points)}-point sweep (seed={args.seed}, "
+              f"jobs={args.jobs})",
     ))
     return 0
 
@@ -336,6 +468,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "study": _cmd_study,

@@ -13,6 +13,10 @@ from typing import Any, Callable, Generic, Iterator, List, Optional, Tuple, Type
 
 V = TypeVar("V")
 
+#: Internal miss sentinel: lets ``lookup`` run a single dict probe
+#: instead of a containment check plus two keyed reads.
+_MISS = object()
+
 
 class SetAssociativeTable(Generic[V]):
     """An ``nsets`` x ``nways`` LRU table keyed by an integer.
@@ -32,6 +36,9 @@ class SetAssociativeTable(Generic[V]):
             raise ValueError("nsets and nways must both be >= 1")
         self.nsets = nsets
         self.nways = nways
+        #: None means the default ``key % nsets`` mapping, which the hot
+        #: paths inline instead of paying a call per probe.
+        self._custom_index = index_fn
         self._index_fn = index_fn or (lambda key: key % nsets)
         self._sets: List["OrderedDict[int, V]"] = [OrderedDict() for _ in range(nsets)]
         self.hits = 0
@@ -48,12 +55,16 @@ class SetAssociativeTable(Generic[V]):
 
         When ``touch`` is true a hit also refreshes the entry's recency.
         """
-        target = self._sets[self._index_fn(key)]
-        if key in target:
+        if self._custom_index is None:
+            target = self._sets[key % self.nsets]
+        else:
+            target = self._sets[self._custom_index(key)]
+        value = target.get(key, _MISS)
+        if value is not _MISS:
             self.hits += 1
             if touch:
                 target.move_to_end(key)
-            return target[key]
+            return value
         self.misses += 1
         return None
 

@@ -1,0 +1,27 @@
+"""Version-compat shims.
+
+The hot per-page / per-access dataclasses want ``slots=True`` (one
+instance per touched page adds up to real memory and attribute-lookup
+cost), but the ``slots`` parameter only exists on Python >= 3.10 and the
+project supports 3.9.  :func:`slotted_dataclass` applies slots where the
+interpreter can and silently degrades to a plain dataclass where it
+cannot — behavior is identical either way, only footprint and speed
+differ.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+if sys.version_info >= (3, 10):
+
+    def slotted_dataclass(**kwargs):
+        """``@dataclass(slots=True, **kwargs)`` when supported."""
+        return dataclass(slots=True, **kwargs)
+
+else:  # pragma: no cover - exercised only on Python 3.9
+
+    def slotted_dataclass(**kwargs):
+        """Plain ``@dataclass(**kwargs)`` fallback for Python < 3.10."""
+        return dataclass(**kwargs)

@@ -10,6 +10,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.common.compat import slotted_dataclass
 from repro.common.constants import BLOCK_SHIFT, PAGE_SHIFT
 
 
@@ -59,7 +60,7 @@ class HotPage:
     kind: PageKind = PageKind.BASE_4K
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class PrefetchRequest:
     """A finalized prefetch decision sent to the execution engine.
 
@@ -75,7 +76,7 @@ class PrefetchRequest:
     stream_id: int = -1
 
 
-@dataclass
+@slotted_dataclass()
 class StreamObservation:
     """What the Stream Training Table hands to the tier algorithms.
 
@@ -93,7 +94,7 @@ class StreamObservation:
     timestamp_us: float = 0.0
 
 
-@dataclass
+@slotted_dataclass()
 class PrefetchDecision:
     """Raw output of one tier algorithm, before the policy engine applies
     the prefetch offset and intensity knobs.
@@ -129,7 +130,7 @@ class TraceRecord:
         return self.paddr >> PAGE_SHIFT
 
 
-@dataclass
+@slotted_dataclass()
 class RptEntry:
     """Reverse-page-table entry (Figure 6): PPN -> PID + VPN + flags."""
 

@@ -1,0 +1,24 @@
+"""Execution engine: parallel sweep fan-out, persistent result cache,
+and the per-component profiler.
+
+The modules here own *how* simulations are executed — the simulator
+itself (``repro.sim``) stays single-run and single-threaded.  A sweep is
+a list of :class:`~repro.exec.spec.RunSpec` points handed to
+:func:`~repro.exec.pool.execute`; every point is independent, re-seeded
+from its own config, so serial and parallel execution produce
+byte-identical RunResults (pinned by tests/test_exec_pool.py).
+"""
+
+from repro.exec.cache import ResultCache, TraceCache, cache_key, default_cache_dir
+from repro.exec.pool import execute, run_spec
+from repro.exec.spec import RunSpec
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "TraceCache",
+    "cache_key",
+    "default_cache_dir",
+    "execute",
+    "run_spec",
+]

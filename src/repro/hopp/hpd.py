@@ -13,10 +13,10 @@ and RDMA-fetched pages arrive via DMA writes that would pollute the trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.assoc import SetAssociativeTable
+from repro.common.compat import slotted_dataclass
 from repro.common.constants import (
     BLOCK_SIZE,
     BLOCKS_PER_PAGE,
@@ -28,7 +28,7 @@ from repro.common.constants import (
 )
 
 
-@dataclass
+@slotted_dataclass()
 class HpdEntry:
     """One HPD table row (Figure 5; the LRU bit lives in the table)."""
 
@@ -63,18 +63,34 @@ class HotPageDetector:
         self._ever_sent: set = set()
 
     def process(self, paddr: int, is_write: bool = False) -> Optional[int]:
-        """One MC access.  Returns the hot PPN when extraction fires."""
+        """One MC access.  Returns the hot PPN when extraction fires.
+
+        This runs once per MC READ — the hottest call in a HoPP run — so
+        the table probe is inlined against the set dict (HPD owns its
+        table and uses the default ``ppn % nsets`` mapping); the stat
+        and LRU updates repeat ``SetAssociativeTable.lookup``/``insert``
+        exactly.
+        """
         if is_write:
             self.writes_ignored += 1
             return None
         self.accesses += 1
         ppn = paddr >> PAGE_SHIFT
-        entry = self._table.lookup(ppn)
+        table = self._table
+        target = table._sets[ppn % table.nsets]
+        entry = target.get(ppn)
         if entry is None:
-            self._table.insert(ppn, HpdEntry(count=1, sent=False))
+            table.misses += 1
+            entry = HpdEntry(count=1, sent=False)
+            if len(target) >= table.nways:
+                target.popitem(last=False)
+                table.evictions += 1
+            target[ppn] = entry
             if self.threshold == 1:
-                return self._extract(ppn, self._table.peek(ppn))
+                return self._extract(ppn, entry)
             return None
+        table.hits += 1
+        target.move_to_end(ppn)
         if entry.sent:
             self.dropped_after_send += 1
             return None

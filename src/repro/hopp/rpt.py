@@ -13,10 +13,11 @@ pte_clear and the pmd variants for huge pages) keep it current.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.common.assoc import SetAssociativeTable
+from repro.common.compat import slotted_dataclass
 from repro.common.constants import (
     BLOCK_SIZE,
     HOT_PAGE_RECORD_BYTES,
@@ -62,7 +63,7 @@ class ReversePageTable:
         return local_memory_pages * RPT_ENTRY_BYTES
 
 
-@dataclass
+@slotted_dataclass()
 class _CacheLine:
     entry: Optional[RptEntry]
     dirty: bool = False

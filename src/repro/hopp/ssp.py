@@ -7,7 +7,6 @@ where ``i`` is the policy engine's prefetch offset.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Optional
 
 from repro.common.types import PrefetchDecision, StreamObservation
@@ -19,14 +18,22 @@ def dominant_stride(strides, min_count: int) -> Optional[int]:
     """The most frequent stride if it reaches ``min_count``, else None.
 
     Zero strides never dominate: a self-stride carries no direction.
+    Ties go to the stride seen first, matching ``Counter.most_common``
+    (insertion-ordered counts, stable selection) — this runs once per
+    stream observation, so it is hand-rolled instead of building a
+    Counter per call.
     """
-    if not strides:
-        return None
-    counts = Counter(s for s in strides if s != 0)
-    if not counts:
-        return None
-    stride, count = counts.most_common(1)[0]
-    return stride if count >= min_count else None
+    counts: dict = {}
+    for s in strides:
+        if s != 0:
+            counts[s] = counts.get(s, 0) + 1
+    best = None
+    best_count = 0
+    for s, c in counts.items():
+        if c > best_count:
+            best = s
+            best_count = c
+    return best if best_count >= min_count else None
 
 
 def train(observation: StreamObservation) -> Optional[PrefetchDecision]:

@@ -14,14 +14,15 @@ yields a :class:`StreamObservation` for the tier algorithms.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.common.compat import slotted_dataclass
 from repro.common.constants import STT_ENTRIES, STT_HISTORY_LEN, STT_STREAM_DELTA
 from repro.common.types import StreamObservation
 
 
-@dataclass
+@slotted_dataclass()
 class SttEntry:
     stream_id: int
     pid: int

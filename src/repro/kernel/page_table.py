@@ -9,9 +9,10 @@ that maps or unmaps a physical frame notifies registered listeners.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.common.compat import slotted_dataclass
 from repro.common.types import PageKind
 
 
@@ -34,9 +35,14 @@ class PteState(enum.IntEnum):
     REMOTE = 4
 
 
-@dataclass
+@slotted_dataclass()
 class Pte:
-    """One page-table entry plus the swap metadata the simulator needs."""
+    """One page-table entry plus the swap metadata the simulator needs.
+
+    ``slots=True``: one Pte exists per touched virtual page, so the
+    per-instance dict would dominate the simulator's memory and the
+    attribute loads its time.
+    """
 
     state: PteState = PteState.UNTOUCHED
     ppn: int = -1

@@ -61,6 +61,8 @@ class MemoryController:
         self.bytes_transferred += BLOCK_SIZE
         for tap in self._taps:
             tap(timestamp_us, paddr, is_write)
+        if self.channels == 1:
+            return 0
         return self.channel_of(paddr)
 
     @property

@@ -173,9 +173,13 @@ class RunResult:
 
     # -- export -------------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, full: bool = False) -> Dict[str, object]:
         """A flat, JSON-serializable snapshot of the run (counters plus
-        the derived paper metrics)."""
+        the derived paper metrics).
+
+        ``full=True`` additionally embeds the exact timeliness-histogram
+        state so :meth:`from_dict` can rebuild a RunResult that
+        serializes byte-identically — the result-cache contract."""
         out: Dict[str, object] = {
             "system": self.system,
             "workload": self.workload,
@@ -246,4 +250,100 @@ class RunResult:
                 "p90": self.timeliness.quantile(0.9),
                 "count": self.timeliness.stat.count,
             }
+        if full:
+            if self.timeliness is not None:
+                stat = self.timeliness.stat
+                out["timeliness_hist"] = {
+                    "bounds": list(self.timeliness.bounds),
+                    "counts": list(self.timeliness.counts),
+                    "stat": {
+                        "count": stat.count,
+                        "mean": stat._mean,
+                        "m2": stat._m2,
+                        "min": stat.min,
+                        "max": stat.max,
+                    },
+                }
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a RunResult from :meth:`to_dict(full=True)` output.
+
+        The round trip is exact: ``from_dict(r.to_dict(full=True))``
+        serializes byte-identically to ``r`` (pinned by the cache tests).
+        Derived metrics (accuracy, coverage, ...) are recomputed from the
+        restored counters, never trusted from the snapshot."""
+        breakdown_us = data.get("breakdown_us", {})
+        breakdown = FaultBreakdown(
+            dram_hit_us=breakdown_us.get("dram_hit", 0.0),
+            prefetch_hit_us=breakdown_us.get("prefetch_hit", 0.0),
+            remote_fault_us=breakdown_us.get("remote_fault", 0.0),
+            inflight_wait_us=breakdown_us.get("inflight_wait", 0.0),
+            reclaim_us=breakdown_us.get("reclaim", 0.0),
+        )
+        timeliness = None
+        hist = data.get("timeliness_hist")
+        if hist is not None:
+            timeliness = Histogram(bounds=hist["bounds"])
+            timeliness.counts = list(hist["counts"])
+            stat = hist["stat"]
+            timeliness.stat.count = stat["count"]
+            timeliness.stat._mean = stat["mean"]
+            timeliness.stat._m2 = stat["m2"]
+            timeliness.stat.min = stat["min"]
+            timeliness.stat.max = stat["max"]
+        cluster = data.get("cluster", {})
+        recovery = data.get("recovery", {})
+        result = cls(
+            system=data["system"],
+            workload=data["workload"],
+            completion_time_us=data.get("completion_time_us", 0.0),
+            accesses=data.get("accesses", 0),
+            mc_reads=data.get("mc_reads", 0),
+            minor_faults=data.get("minor_faults", 0),
+            remote_demand_reads=data.get("remote_demand_reads", 0),
+            prefetch_hit_swapcache=data.get("prefetch_hit_swapcache", 0),
+            prefetch_hit_inflight=data.get("prefetch_hit_inflight", 0),
+            prefetch_hit_dram=data.get("prefetch_hit_dram", 0),
+            prefetch_issued=data.get("prefetch_issued", 0),
+            prefetch_wasted=data.get("prefetch_wasted", 0),
+            issued_by_tier=dict(data.get("issued_by_tier", {})),
+            hits_by_tier=dict(data.get("hits_by_tier", {})),
+            breakdown=breakdown,
+            timeliness=timeliness,
+            fabric_reads=data.get("fabric_reads", 0),
+            fabric_writes=data.get("fabric_writes", 0),
+            reclaim_pages=data.get("reclaim_pages", 0),
+            peak_resident_pages=data.get("peak_resident_pages", 0),
+            timeouts=data.get("timeouts", 0),
+            retries=data.get("retries", 0),
+            retry_latency_us=data.get("retry_latency_us", 0.0),
+            dropped_prefetches=data.get("dropped_prefetches", 0),
+            dropped_by_tier=dict(data.get("dropped_by_tier", {})),
+            degraded_mode_us=data.get("degraded_mode_us", 0.0),
+            breaker_opens=data.get("breaker_opens", 0),
+            prefetch_suppressed=data.get("prefetch_suppressed", 0),
+            remote_nodes=cluster.get("remote_nodes", 1),
+            placement=cluster.get("placement", "interleave"),
+            replication=cluster.get("replication", 1),
+            demand_failovers=cluster.get("demand_failovers", 0),
+            writeback_reroutes=cluster.get("writeback_reroutes", 0),
+            replica_writes=cluster.get("replica_writes", 0),
+            node_stats=list(cluster.get("per_node", [])),
+            node_crashes=recovery.get("node_crashes", 0),
+            node_rejoins=recovery.get("node_rejoins", 0),
+            pages_repaired=recovery.get("pages_repaired", 0),
+            pages_lost=recovery.get("pages_lost", 0),
+            pages_zero_filled=recovery.get("pages_zero_filled", 0),
+            pages_salvaged=recovery.get("pages_salvaged", 0),
+            pages_drained=recovery.get("pages_drained", 0),
+            repair_reads=recovery.get("repair_reads", 0),
+            repair_writes=recovery.get("repair_writes", 0),
+            repair_bytes=recovery.get("repair_bytes", 0),
+            repair_retries=recovery.get("repair_retries", 0),
+            directory_misses=recovery.get("directory_misses", 0),
+            invariant_checks=recovery.get("invariant_checks", 0),
+            extra=dict(data.get("extra", {})),
+        )
+        return result

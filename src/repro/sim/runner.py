@@ -137,8 +137,16 @@ def run(
     fault_plan: Optional[FaultPlan] = None,
     cluster: Optional[ClusterConfig] = None,
     check_invariants: bool = False,
+    trace: Optional[Iterable] = None,
 ) -> RunResult:
-    """Drive one workload through one system; the primary entry point."""
+    """Drive one workload through one system; the primary entry point.
+
+    ``trace`` overrides the workload's generated reference stream — the
+    execution engine passes a materialized trace here so a sweep
+    generates each workload's stream once instead of once per point.
+    Every kwarg added to this signature must also be added to
+    :class:`repro.exec.spec.RunSpec`, or cached results would silently
+    ignore it (tests/test_exec_cache.py audits the two)."""
     spec = _resolve(system)
     machine = make_machine(
         workload,
@@ -149,7 +157,7 @@ def run(
         cluster,
         check_invariants,
     )
-    machine.run(workload.trace())
+    machine.run(workload.trace() if trace is None else trace)
     # Let in-flight recovery converge before measuring (no-op unless a
     # fault plan armed it, and free of events unless a node crashed).
     machine.flush_recovery()

@@ -1,0 +1,129 @@
+"""Tests for the parallel fan-out engine.
+
+The engine's contract is bit-level determinism: every RunSpec is a pure
+function of its fields, so serial, parallel, cached, and trace-cached
+execution must produce byte-identical RunResults, returned in input
+order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import SweepPoint, sweep
+from repro.exec.cache import ResultCache, TraceCache
+from repro.exec.pool import execute, local_ct_spec, run_spec
+from repro.exec.spec import RunSpec
+from repro.sim import runner
+from tests.conftest import quiet_fabric
+
+SMALL = {"npages": 64, "passes": 1}
+
+
+def grid(systems=("fastswap", "hopp"), fractions=(0.25, 0.5)):
+    return [
+        RunSpec(
+            workload="stream-simple",
+            system=system,
+            fraction=fraction,
+            seed=3,
+            workload_kwargs=dict(SMALL),
+            fabric=quiet_fabric(3),
+        )
+        for system in systems
+        for fraction in fractions
+    ]
+
+
+def dicts(results):
+    return [r.to_dict(full=True) for r in results]
+
+
+class TestExecute:
+    def test_parallel_equals_serial(self):
+        specs = grid()
+        serial = execute(specs, jobs=1)
+        parallel = execute(specs, jobs=2)
+        assert dicts(parallel) == dicts(serial)
+
+    def test_results_are_input_ordered(self):
+        specs = grid()
+        results = execute(specs, jobs=2)
+        for spec, result in zip(specs, results):
+            assert result.system == spec.system
+
+    def test_trace_cache_does_not_change_results(self):
+        specs = grid()
+        without = [run_spec(s) for s in specs]
+        with_cache = execute(specs, trace_cache=TraceCache())
+        assert dicts(with_cache) == dicts(without)
+
+    def test_mixed_cache_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = grid()
+        execute(specs[:2], cache=cache)
+        results = execute(specs, jobs=2, cache=cache)
+        assert cache.hits == 2
+        assert dicts(results) == dicts(execute(specs))
+
+    def test_on_result_fires_in_input_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = grid()
+        execute(specs[1:2], cache=cache)
+        seen = []
+        execute(
+            specs,
+            cache=cache,
+            on_result=lambda i, spec, result, was_cached: seen.append(
+                (i, spec.system, was_cached)
+            ),
+        )
+        assert [i for i, _, _ in seen] == [0, 1, 2, 3]
+        assert [cached for _, _, cached in seen] == [False, True, False, False]
+
+    def test_local_ct_spec_matches_runner_reference(self):
+        from repro.workloads import build
+
+        spec = local_ct_spec("stream-simple", 3, quiet_fabric(3), SMALL)
+        engine_ct = run_spec(spec).completion_time_us
+        workload = build("stream-simple", seed=3, **SMALL)
+        assert engine_ct == runner.local_completion_time(workload, quiet_fabric(3))
+
+
+class TestSweepOnEngine:
+    def test_parallel_sweep_equals_serial_sweep(self):
+        kwargs = dict(
+            workloads=["stream-simple"],
+            systems=["fastswap", "hopp"],
+            fractions=[0.25, 0.5],
+            seed=3,
+            fabric=quiet_fabric(3),
+            workload_kwargs={"stream-simple": dict(SMALL)},
+        )
+        serial = sweep(**kwargs)
+        parallel = sweep(jobs=2, **kwargs)
+        assert serial.points == parallel.points
+        for point in serial.points:
+            assert (
+                parallel.results[point].to_dict(full=True)
+                == serial.results[point].to_dict(full=True)
+            )
+        assert serial.ct_local == parallel.ct_local
+
+    def test_cached_sweep_equals_fresh_sweep(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(
+            workloads=["stream-simple"],
+            systems=["fastswap"],
+            fractions=[0.5],
+            seed=3,
+            fabric=quiet_fabric(3),
+            workload_kwargs={"stream-simple": dict(SMALL)},
+        )
+        fresh = sweep(**kwargs)
+        sweep(cache=cache, **kwargs)  # populate
+        warm = sweep(cache=cache, **kwargs)
+        assert cache.hits > 0
+        point = SweepPoint("stream-simple", "fastswap", 0.5, 3)
+        assert (
+            warm.results[point].to_dict(full=True)
+            == fresh.results[point].to_dict(full=True)
+        )

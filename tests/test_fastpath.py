@@ -1,0 +1,102 @@
+"""Differential tests for the resident-hit fast path in Machine.run.
+
+``Machine.run(use_fast_path=False)`` is the oracle: the plain
+per-access loop with no local batching or specialized dispatch.  The
+fast path must be *invisible* — byte-identical counters, latencies and
+per-component breakdowns on every system, including mixed read/write
+traces (writes dirty pages and change writeback traffic) and prefetch
+taps (which re-enter the machine mid-loop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import runner
+from repro.sim.runner import collect, make_machine
+from repro.workloads import build
+from tests.conftest import quiet_fabric
+
+SYSTEMS = ["noprefetch", "fastswap", "leap", "hopp", "hopp-evict"]
+
+
+def run_both(workload_name, system, fraction, seed=3, trace=None,
+             **workload_kwargs):
+    """One run through the fast dispatcher, one through the oracle loop,
+    on the same materialized trace."""
+    results = []
+    workload = build(workload_name, seed=seed, **workload_kwargs)
+    if trace is None:
+        trace = list(workload.trace())
+    for fast in (True, False):
+        machine = make_machine(workload, system, fraction, quiet_fabric(seed))
+        machine.run(trace, use_fast_path=fast)
+        machine.flush_recovery()
+        results.append(collect(machine, system, workload_name))
+    return results
+
+
+def with_writes(trace, every=3):
+    """Mark every ``every``-th access as a write (3-tuple form)."""
+    return [
+        (item[0], item[1], True) if i % every == 0 else item
+        for i, item in enumerate(trace)
+    ]
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_stream_workload(self, system):
+        fast, slow = run_both("stream-simple", system, 0.5,
+                              npages=128, passes=2)
+        assert fast.to_dict(full=True) == slow.to_dict(full=True)
+
+    @pytest.mark.parametrize("system", ["fastswap", "hopp"])
+    def test_mixed_read_write_trace(self, system):
+        # Writes dirty resident pages (changing eviction writeback
+        # traffic) and land on the MC write counter — the fast path must
+        # account both identically.  No stock workload emits the
+        # 3-tuple form, so mark every third access a write explicitly.
+        trace = with_writes(list(build("kv-cache", seed=3).trace()))
+        assert any(len(item) > 2 and item[2] for item in trace)
+        fast, slow = run_both("kv-cache", system, 0.5, trace=trace)
+        assert fast.mc_reads > 0
+        assert fast.to_dict(full=True) == slow.to_dict(full=True)
+
+    @pytest.mark.parametrize("fraction", [0.25, 1.0, 4.0])
+    def test_across_memory_pressure(self, fraction):
+        # 4.0 = everything resident (pure fast path); 0.25 = constant
+        # reclaim (fast path mostly falls through to access()).
+        fast, slow = run_both("stream-ladder", "hopp", fraction)
+        assert fast.to_dict(full=True) == slow.to_dict(full=True)
+
+    def test_multi_process_workload(self):
+        fast, slow = run_both("omp-kmeans", "hopp", 0.5)
+        assert fast.to_dict(full=True) == slow.to_dict(full=True)
+
+    def test_runner_uses_fast_path_result(self):
+        # runner.run (the production entry) must equal the oracle too.
+        workload = build("stream-simple", seed=3, npages=128, passes=2)
+        via_runner = runner.run(workload, "hopp", 0.5, quiet_fabric(3))
+        _, slow = run_both("stream-simple", "hopp", 0.5,
+                           npages=128, passes=2)
+        assert via_runner.to_dict(full=True) == slow.to_dict(full=True)
+
+
+class TestFastPathGating:
+    def test_sanitizer_forces_slow_loop(self):
+        # With the invariant sanitizer armed the dispatcher must take
+        # the per-access loop (the sanitizer sweeps every N accesses,
+        # so the trace must be long enough to cross that interval).
+        workload = build("stream-simple", seed=3, npages=256, passes=10)
+        trace = list(workload.trace())
+        assert len(trace) >= 2000
+        a = make_machine(workload, "hopp", 0.5, quiet_fabric(3),
+                         check_invariants=True)
+        a.run(trace)
+        b = make_machine(workload, "hopp", 0.5, quiet_fabric(3),
+                         check_invariants=True)
+        b.run(trace, use_fast_path=False)
+        assert collect(a, "hopp", "s").to_dict(full=True) == \
+            collect(b, "hopp", "s").to_dict(full=True)
+        assert a.sanitizer.checks_run > 0
