@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis.report import print_artifact, render_table
 
-from common import get_result, paper_fraction, time_one
+from common import get_result, get_telemetry_result, paper_fraction, time_one
 
 APPS = ["graphx-bfs", "omp-kmeans", "graphx-cc", "npb-mg"]
 SYSTEMS = ["depth-16", "depth-32", "fastswap", "hopp"]
@@ -49,3 +49,42 @@ def test_fig17_normalized_remote_accesses(benchmark):
         assert ratios[(app, "depth-32")] == max(
             ratios[(app, system)] for system in SYSTEMS
         )
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_remote_accesses_over_time(benchmark):
+    """The time-resolved companion: per-epoch remote reads from the
+    telemetry time-series, the series Figure 17 aggregates away.
+
+    Each system's epoch sums must reconcile *exactly* with its
+    aggregate fabric counter — telemetry re-buckets the same
+    increments, it never keeps second books.
+    """
+    app = "graphx-bfs"
+    fraction = paper_fraction(app)
+    time_one(
+        benchmark, lambda: get_telemetry_result(app, "fastswap", fraction)
+    )
+
+    rows = []
+    for system in ("fastswap", "hopp"):
+        result = get_telemetry_result(app, system, fraction)
+        series = result.telemetry["timeseries"]["series"]
+        reads = series["remote_reads"]
+        assert sum(reads) == result.fabric_reads, system
+        assert sum(series["demand_faults"]) == result.remote_demand_reads
+        assert len(reads) == result.telemetry["timeseries"]["epochs"]
+        # Fold the run into deciles of wall-clock so the shape is
+        # readable regardless of epoch count.
+        n = len(reads)
+        deciles = [
+            sum(reads[(n * i) // 10:(n * (i + 1)) // 10]) for i in range(10)
+        ]
+        rows.append([system, result.fabric_reads] + deciles)
+    print_artifact(
+        f"Figure 17 over time: remote reads per run-decile ({app}, "
+        f"epoch = 1 ms)",
+        render_table(
+            ["system", "total"] + [f"d{i}" for i in range(10)], rows
+        ),
+    )

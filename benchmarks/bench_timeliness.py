@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.report import print_artifact, render_table
 from repro.common.constants import POLICY_T_MAX_US, POLICY_T_MIN_US
 
-from common import get_result, time_one
+from common import get_result, get_telemetry_result, time_one
 
 APPS = ["omp-kmeans", "quicksort", "hpl", "npb-mg", "npb-is"]
 FRACTION = 0.5
@@ -56,3 +56,47 @@ def test_timeliness_distribution(benchmark):
     # the streaming apps.
     assert max(in_window_fractions) > 0.6
     assert sum(in_window_fractions) / len(in_window_fractions) > 0.4
+
+
+@pytest.mark.benchmark(group="timeliness")
+def test_timeliness_over_time(benchmark):
+    """Per-epoch timeliness from the telemetry time-series: does the
+    policy engine's control loop *hold* T inside the window as the run
+    progresses, or only on average?  Epoch sample counts must
+    reconcile exactly with the aggregate timeliness histogram."""
+    app = "omp-kmeans"
+    time_one(benchmark, lambda: get_telemetry_result(app, "hopp", FRACTION))
+
+    result = get_telemetry_result(app, "hopp", FRACTION)
+    block = result.telemetry["timeseries"]["timeliness_us"]
+    assert sum(block["count"]) == result.timeliness.stat.count
+    sampled = [i for i, count in enumerate(block["count"]) if count]
+    assert sampled, "no prefetch first-hits recorded"
+
+    rows = []
+    for label, epoch in (("first", sampled[0]), ("last", sampled[-1])):
+        rows.append(
+            [
+                f"{label} active epoch ({epoch})",
+                block["count"][epoch],
+                block["mean"][epoch],
+                block["p50"][epoch],
+                block["p90"][epoch],
+            ]
+        )
+    print_artifact(
+        f"timeliness over time ({app} on hopp, epoch = 1 ms, "
+        f"{len(sampled)} active epochs)",
+        render_table(
+            ["epoch", "hits", "mean (us)", "p50 (us)", "p90 (us)"],
+            rows,
+            precision=1,
+        ),
+    )
+    # The steady-state epochs keep their median inside the policy
+    # window — the time-resolved form of the aggregate assertion above.
+    medians = [block["p50"][i] for i in sampled]
+    in_window = [
+        m for m in medians if POLICY_T_MIN_US <= m <= POLICY_T_MAX_US
+    ]
+    assert len(in_window) >= len(medians) * 0.5

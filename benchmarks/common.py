@@ -26,6 +26,7 @@ from repro.exec.spec import RunSpec
 from repro.net.rdma import FabricConfig
 from repro.sim.metrics import RunResult
 from repro.sim.multiprogram import run_corun
+from repro.telemetry import TelemetryConfig
 from repro.workloads import build
 
 SEED = 7
@@ -64,6 +65,27 @@ def get_result(workload_name: str, system: str, fraction: float) -> RunResult:
                 fraction=fraction,
                 seed=SEED,
                 fabric=_FABRIC,
+            )
+        )
+    return _MEMO[key]
+
+
+def get_telemetry_result(
+    workload_name: str, system: str, fraction: float, epoch_us: float = 1000.0
+) -> RunResult:
+    """Like :func:`get_result` but with windowed time-series telemetry
+    armed; keyed separately (an instrumented result is a different
+    cached artifact, see ``RunSpec.key_dict``)."""
+    key = (workload_name, system, fraction, "telemetry", epoch_us)
+    if key not in _MEMO:
+        _MEMO[key] = _run_one(
+            RunSpec(
+                workload=workload_name,
+                system=system,
+                fraction=fraction,
+                seed=SEED,
+                fabric=_FABRIC,
+                telemetry=TelemetryConfig(epoch_us=epoch_us),
             )
         )
     return _MEMO[key]

@@ -34,6 +34,7 @@ from repro.exec.spec import RunSpec
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import runner, systems
+from repro.telemetry import TelemetryConfig, chrome_trace, prometheus_snapshot
 from repro.trace.hmtt import HmttTracer
 from repro.trace.persist import load_trace, write_trace
 from repro.workloads import build as build_workload
@@ -83,6 +84,32 @@ def _build_parser() -> argparse.ArgumentParser:
                  "cache",
         )
 
+    def add_telemetry_args(p):
+        p.add_argument(
+            "--telemetry", action="store_true",
+            help="record windowed time-series telemetry (per-epoch "
+                 "coverage/accuracy/remote accesses, fetch-latency "
+                 "p50/p99) onto the result; off by default — disabled "
+                 "runs are byte-identical and probe-free",
+        )
+        p.add_argument(
+            "--telemetry-epoch-us", type=float, default=1000.0,
+            metavar="US", help="time-series window width in simulated "
+                               "microseconds (default 1000)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="also record the swap-path/prefetch-lifecycle timeline "
+                 "and write it as Chrome trace-event JSON (load in "
+                 "chrome://tracing or https://ui.perfetto.dev); implies "
+                 "--telemetry",
+        )
+        p.add_argument(
+            "--prom-out", default=None, metavar="FILE",
+            help="write a Prometheus text-format snapshot of the run's "
+                 "counters (aggregate + per-node); implies --telemetry",
+        )
+
     def add_jobs_arg(p):
         p.add_argument(
             "--jobs", "-j", type=int, default=1, metavar="N",
@@ -111,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_fault_args(run_parser)
     add_cluster_args(run_parser)
     add_cache_args(run_parser)
+    add_telemetry_args(run_parser)
     run_parser.add_argument("--system", "-s", default="hopp")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the full result as JSON")
@@ -218,6 +246,60 @@ def _cluster_config(args) -> ClusterConfig:
     )
 
 
+def _telemetry_config(args) -> Optional[TelemetryConfig]:
+    """The TelemetryConfig selected by --telemetry/--trace-out/--prom-out,
+    or None (the probe-free null-object) when no flag asked for it."""
+    wants = (
+        getattr(args, "telemetry", False)
+        or getattr(args, "trace_out", None) is not None
+        or getattr(args, "prom_out", None) is not None
+    )
+    if not wants:
+        return None
+    return TelemetryConfig(
+        epoch_us=args.telemetry_epoch_us,
+        trace=args.trace_out is not None,
+    )
+
+
+def _write_telemetry_artifacts(args, result) -> List[List[object]]:
+    """Write --trace-out/--prom-out files and return the telemetry rows
+    for the run summary table."""
+    telemetry = result.telemetry
+    if telemetry is None:
+        return []
+    series = telemetry["timeseries"]
+    rows: List[List[object]] = [
+        ["telemetry events / epochs",
+         f"{telemetry['events_total']}/{series['epochs']}"],
+    ]
+    latency = series.get("fetch_latency_us") or {}
+    counts = latency.get("count") or []
+    total = sum(counts)
+    if total:
+        # Per-epoch blocks carry lists; fold them into run-level numbers
+        # (exact for the mean, worst-epoch for the tail).
+        weighted_mean = sum(
+            m * c for m, c in zip(latency["mean"], counts) if m is not None
+        ) / total
+        worst_p99 = max(p for p in latency["p99"] if p is not None)
+        rows.append(["fetch latency mean / worst-epoch p99 (us)",
+                     f"{weighted_mean:.1f}/{worst_p99:.1f}"])
+    if args.trace_out is not None:
+        trace_doc = chrome_trace(telemetry["trace_events"])
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(trace_doc, handle)
+        note = f"{len(telemetry['trace_events'])} events"
+        if telemetry.get("trace_truncated"):
+            note += f" (+{telemetry['trace_dropped']} dropped at limit)"
+        rows.append(["trace timeline", f"{args.trace_out} ({note})"])
+    if args.prom_out is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_snapshot(result))
+        rows.append(["prometheus snapshot", args.prom_out])
+    return rows
+
+
 def _make_cache(args) -> Optional[ResultCache]:
     """The result cache selected by --cache-dir/--no-cache."""
     if getattr(args, "no_cache", False):
@@ -253,6 +335,7 @@ def _cmd_run(args) -> int:
         fault_plan=fault_plan,
         cluster=cluster,
         check_invariants=args.check_invariants,
+        telemetry=_telemetry_config(args),
     )
     ct_local = execute(
         [local_ct_spec(args.workload, args.seed, fabric)], cache=cache
@@ -272,6 +355,7 @@ def _cmd_run(args) -> int:
         payload["normalized_performance"] = result.normalized_performance(ct_local)
         payload["ct_local_us"] = ct_local
         print(json.dumps(payload, indent=2, sort_keys=True))
+        _write_telemetry_artifacts(args, result)
         return 0
     rows = [
         ["completion time (us)", f"{result.completion_time_us:.1f}"],
@@ -284,6 +368,15 @@ def _cmd_run(args) -> int:
          f"{result.prefetch_hit_dram}/{result.prefetch_hit_swapcache}/"
          f"{result.prefetch_hit_inflight}"],
         ["prefetched pages wasted", result.prefetch_wasted],
+        ["compute time (us)", f"{result.compute_us:.1f}"],
+        ["memory-controller reads / writes",
+         f"{result.mc_reads}/{result.mc_writes}"],
+        ["swapcache inserts / hits / drops",
+         f"{result.swapcache_inserts}/{result.swapcache_hits}/"
+         f"{result.swapcache_drops}"],
+        ["reclaim batches / writebacks / clean drops",
+         f"{result.reclaim_batches}/{result.reclaim_writebacks}/"
+         f"{result.reclaim_clean_drops}"],
     ]
     if fault_plan is not None:
         rows += [
@@ -321,6 +414,7 @@ def _cmd_run(args) -> int:
         ]
     if result.invariant_checks:
         rows.append(["invariant checks passed", result.invariant_checks])
+    rows += _write_telemetry_artifacts(args, result)
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
                              f"(local={args.fraction:.0%})"))

@@ -45,6 +45,8 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
+from repro.telemetry.events import EV_NODE_STATE
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.cluster.cluster import RemoteMemoryCluster
 
@@ -108,6 +110,10 @@ class HealthMonitor:
             node.node_id: 0 for node in cluster.nodes
         }
         self._next_heartbeat_us = 0.0
+        #: Telemetry event bus; None keeps transitions probe-free.  Set
+        #: by the machine when telemetry is armed — the monitor never
+        #: creates one itself.
+        self.bus = None
         #: (now_us, node_id, from_state, to_state) audit trail.
         self.transitions: List[Tuple[float, int, NodeState, NodeState]] = []
         self.node_crashes = 0
@@ -218,6 +224,11 @@ class HealthMonitor:
             return
         self._states[node_id] = to
         self.transitions.append((now_us, node_id, frm, to))
+        if self.bus is not None:
+            self.bus.emit(
+                EV_NODE_STATE, now_us,
+                node=node_id, frm=frm.value, to=to.value,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HealthMonitor({self.states_snapshot()})"

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Deque, Optional, Tuple
 from repro.cluster.health import NodeState
 from repro.common.constants import PAGE_SIZE
 from repro.net.faults import TransferTimeout
+from repro.telemetry.events import EV_REPAIR
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.cluster.cluster import RemoteMemoryCluster
@@ -80,6 +81,9 @@ class RepairEngine:
         self.config = config
         self._queue: Deque[_Task] = deque()
         self._queued: set = set()
+        #: Telemetry event bus; None keeps the pump probe-free.  Set by
+        #: the machine when telemetry is armed.
+        self.bus = None
         self._retries_of: dict = {}
         self._next_issue_us = 0.0
         # Counters surfaced into RunResult.
@@ -245,6 +249,11 @@ class RepairEngine:
             target.remote.write(slot, pid, vpn, now_us=read_done)
             self.repair_writes += 1
             self._retries_of.pop(task, None)
+            if self.bus is not None:
+                self.bus.emit(
+                    EV_REPAIR, now_us,
+                    task=task[0], slot=slot, node=target_id,
+                )
             return True
         except TransferTimeout:
             retries = self._retries_of.get(task, 0)

@@ -30,6 +30,29 @@ class RunningStat:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "RunningStat") -> None:
+        """Fold ``other`` into this stat (Chan's parallel Welford
+        combination); the result is exact, as if every sample had been
+        added to one stat."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0
@@ -72,6 +95,16 @@ class Histogram:
     @property
     def total(self) -> int:
         return sum(self.counts)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s buckets and running stat into this one.
+        Both histograms must share the same bucket bounds — merging
+        across different binnings has no well-defined result."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.stat.merge(other.stat)
 
     def quantile(self, q: float) -> float:
         """Approximate quantile from bucket upper bounds."""

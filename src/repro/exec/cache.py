@@ -37,7 +37,9 @@ from repro.workloads import registry as workload_registry
 
 #: Code-schema version folded into every cache key.  Bump on any change
 #: to simulator semantics, RunResult fields, or key composition.
-SCHEMA_VERSION = 1
+#: v2: telemetry subsystem — RunSpec gained the ``telemetry`` key and
+#: RunResult's full wire format gained the ``machine`` counter section.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(payload: Dict[str, object]) -> str:

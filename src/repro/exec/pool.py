@@ -45,6 +45,7 @@ def run_spec(spec: RunSpec, trace_cache: Optional[TraceCache] = None) -> RunResu
         spec.cluster,
         check_invariants=spec.check_invariants,
         trace=trace,
+        telemetry=spec.telemetry,
     )
 
 
@@ -90,6 +91,25 @@ def execute(
             for index in pending:
                 results[index] = run_spec(specs[index], trace_cache=local_traces)
         else:
+            # Per-run *time-series* telemetry rides the normal wire
+            # format (to_dict(full=True) embeds it), but a full trace
+            # timeline can be hundreds of thousands of events per point
+            # — shipping that through the pool would dominate the very
+            # wall-clock the pool exists to save.  Refuse loudly rather
+            # than silently serialize gigabytes.
+            tracing = [
+                specs[index].label()
+                for index in pending
+                if specs[index].telemetry is not None
+                and specs[index].telemetry.trace
+            ]
+            if tracing:
+                raise ValueError(
+                    "trace-timeline telemetry is not supported on the "
+                    "parallel sweep path (trace events are too large for "
+                    "the worker wire format); run with jobs=1 or disable "
+                    f"TelemetryConfig.trace for: {', '.join(tracing)}"
+                )
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 payloads = pool.map(_worker, [specs[index] for index in pending])

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from repro.cluster.cluster import ClusterConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
+from repro.telemetry import TelemetryConfig
 
 #: ``runner.run`` parameters covered by RunSpec (signature-audit anchor).
 RUNNER_KWARGS_COVERED = frozenset(
@@ -33,6 +34,7 @@ RUNNER_KWARGS_COVERED = frozenset(
         "cluster",
         "check_invariants",
         "trace",  # engine-internal; see module docstring
+        "telemetry",
     }
 )
 
@@ -55,6 +57,7 @@ class RunSpec:
     fault_plan: Optional[FaultPlan] = None
     cluster: Optional[ClusterConfig] = None
     check_invariants: bool = False
+    telemetry: Optional[TelemetryConfig] = None
 
     def key_dict(self) -> Dict[str, object]:
         """Canonical, JSON-stable projection of every result-affecting
@@ -63,7 +66,9 @@ class RunSpec:
         identically (they run identically).  A ``fault_plan`` of
         ``FaultPlan()`` is *not* the same as ``None`` — an empty plan
         arms the recovery machinery — and the projection keeps them
-        distinct."""
+        distinct.  So is ``telemetry``: probes never change simulator
+        counters, but an instrumented RunResult *carries* its telemetry
+        blob, so the cached artifact differs and must key separately."""
         fabric = self.fabric if self.fabric is not None else FabricConfig()
         cluster = self.cluster if self.cluster is not None else ClusterConfig()
         return {
@@ -78,6 +83,9 @@ class RunSpec:
             "fault_plan": None if self.fault_plan is None else self.fault_plan.to_dict(),
             "cluster": asdict(cluster),
             "check_invariants": self.check_invariants,
+            "telemetry": (
+                None if self.telemetry is None else asdict(self.telemetry)
+            ),
         }
 
     def label(self) -> str:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 from repro.common.stats import Histogram
 from repro.common.types import PrefetchRequest
 from repro.hopp.policy import CircuitBreaker, PolicyEngine
+from repro.telemetry.events import EV_PREFETCH_GATE, EV_TIMELINESS
 
 
 class PrefetchBackend(Protocol):
@@ -73,6 +74,9 @@ class ExecutionEngine:
         self.issued_by_tier: Dict[str, int] = {}
         self.timeliness = Histogram()
         self._drop_signal = False
+        #: Telemetry event bus; None keeps the engine probe-free.  Wired
+        #: by the data plane when the backend machine has telemetry.
+        self.bus = None
 
     # -- issue path ------------------------------------------------------------------
 
@@ -86,6 +90,8 @@ class ExecutionEngine:
                 continue
             if self.breaker is not None and not self.breaker.allow(now_us):
                 self.suppressed += 1
+                if self.bus is not None:
+                    self.bus.emit(EV_PREFETCH_GATE, now_us)
                 continue
             self._drop_signal = False
             arrival = self.backend.prefetch_page(
@@ -135,6 +141,8 @@ class ExecutionEngine:
         if record.arrival_us >= 0:
             t_us = max(now_us - record.arrival_us, 0.0)
             self.timeliness.add(t_us)
+            if self.bus is not None:
+                self.bus.emit(EV_TIMELINESS, now_us, t_us=t_us, tier=record.tier)
             if self.policy is not None:
                 self.policy.report_timeliness(
                     record.stream_id, t_us, record.issued_us, now_us

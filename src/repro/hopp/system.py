@@ -116,6 +116,12 @@ class HoppDataPlane:
             inject_pte=cfg.inject_pte,
             breaker=breaker,
         )
+        # Like the breaker arming above, telemetry wiring keys off the
+        # backend machine's state: when it carries a Telemetry instance,
+        # the engine emits gate/timeliness events onto the same bus.
+        telemetry = getattr(backend, "telemetry", None)
+        if telemetry is not None:
+            self.executor.bus = telemetry.bus
         self.batcher = None
         if cfg.hugepage_enabled:
             from repro.hopp.hugepage import HugePageBatcher

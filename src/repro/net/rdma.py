@@ -17,6 +17,11 @@ from typing import Optional
 from repro.common.constants import PAGE_SIZE, T_RDMA_PAGE_US
 from repro.common.stats import RunningStat
 from repro.net.faults import FaultInjector
+from repro.telemetry.events import (
+    EV_FABRIC_READ,
+    EV_FABRIC_WRITE,
+    EV_FETCH_LATENCY,
+)
 
 
 @dataclass
@@ -73,6 +78,13 @@ class RdmaFabric:
     ) -> None:
         self.config = config or FabricConfig()
         self.injector = injector
+        #: Telemetry probe pre-labelled with this link's node id; None
+        #: (the default) keeps every traffic path probe-free.  Counts
+        #: are emitted *before* the injector check so a timed-out
+        #: attempt still reconciles with ``reads``/``writes`` (the
+        #: attempt is wire traffic either way); latency is sampled only
+        #: on successful completions.
+        self.probe = None
         self._rng = random.Random(self.config.seed)
         # Time the link becomes free for the next bulk transfer.
         self._link_free_at_us = 0.0
@@ -110,11 +122,16 @@ class RdmaFabric:
         completion is dropped; the attempt still counts as wire traffic.
         """
         self.reads += 1
+        if self.probe is not None:
+            self.probe.emit(EV_FABRIC_READ, now_us, n=1)
         if self.injector is not None:
             self.injector.check_transfer(
                 now_us, "demand" if priority else "prefetch"
             )
-        return self._transfer(now_us, priority)
+        done = self._transfer(now_us, priority)
+        if self.probe is not None:
+            self.probe.emit(EV_FETCH_LATENCY, done, latency_us=done - now_us)
+        return done
 
     def read_batch(self, now_us: float, npages: int):
         """One scatter-gather READ of ``npages`` consecutive pages (the
@@ -125,6 +142,8 @@ class RdmaFabric:
         if npages < 1:
             raise ValueError("npages must be >= 1")
         self.reads += npages
+        if self.probe is not None:
+            self.probe.emit(EV_FABRIC_READ, now_us, n=npages)
         if self.injector is not None:
             self.injector.check_transfer(now_us, "prefetch")
         start = max(now_us, self._link_free_at_us)
@@ -134,11 +153,18 @@ class RdmaFabric:
             first_byte + (i + 1) * self.page_service_us for i in range(npages)
         ]
         self.latency_stat.add(arrivals[-1] - now_us)
+        if self.probe is not None:
+            self.probe.emit(
+                EV_FETCH_LATENCY, arrivals[-1],
+                latency_us=arrivals[-1] - now_us,
+            )
         return arrivals
 
     def write_page(self, now_us: float) -> float:
         """Issue a 4 KB WRITE (reclaim writeback); returns completion."""
         self.writes += 1
+        if self.probe is not None:
+            self.probe.emit(EV_FABRIC_WRITE, now_us)
         if self.injector is not None:
             self.injector.check_transfer(now_us, "write")
         return self._transfer(now_us, priority=False)
@@ -175,6 +201,21 @@ class RdmaFabric:
             "latency_max_us": self.latency_stat.max or 0.0,
             "link_busy_until_us": self._link_free_at_us,
             "prio_busy_until_us": self._prio_free_at_us,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Export-facing counter snapshot with the unified key naming
+        shared by :meth:`RemoteMemoryNode.metrics_snapshot`: monotone
+        counters end in ``_total``, gauges do not.  The Prometheus
+        exporter maps these keys 1:1 onto metric families with no
+        per-class special-casing; :meth:`stats_snapshot` keeps its
+        original keys because goldens and CI scripts pin them."""
+        return {
+            "reads_total": self.reads,
+            "writes_total": self.writes,
+            "bytes_moved_total": self.bytes_moved,
+            "latency_mean_us": self.latency_stat.mean,
+            "latency_max_us": self.latency_stat.max or 0.0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

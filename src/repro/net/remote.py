@@ -116,6 +116,22 @@ class RemoteMemoryNode:
             "pages_lost": self.pages_lost,
         }
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Export-facing counter snapshot with the unified key naming
+        shared by :meth:`RdmaFabric.metrics_snapshot`: monotone counters
+        end in ``_total``, gauges do not.  :meth:`stats_snapshot` keeps
+        its original keys because goldens and CI scripts pin them."""
+        return {
+            "pages_written_total": self.pages_written,
+            "pages_read_total": self.pages_read,
+            "pages_overwritten_total": self.pages_overwritten,
+            "pages_released_total": self.pages_released,
+            "pages_lost_total": self.pages_lost,
+            "crashes_total": self.crashes,
+            "pages_stored": self.pages_stored,
+            "capacity_pages": self.capacity_pages,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"RemoteMemoryNode(stored={self.pages_stored}/"

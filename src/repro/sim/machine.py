@@ -61,6 +61,17 @@ from repro.net.faults import (
 from repro.net.rdma import FabricConfig, RdmaFabric
 from repro.net.remote import RemoteMemoryNode
 from repro.sim.sanitizer import InvariantSanitizer
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.telemetry.events import (
+    EV_CACHE_INVALIDATE,
+    EV_DEMAND_FAULT,
+    EV_PREFETCH_DROP,
+    EV_PREFETCH_HIT,
+    EV_PREFETCH_ISSUE,
+    EV_PREFETCH_LAND,
+    EV_PREFETCH_UNUSED,
+    EV_RETRY,
+)
 
 PAGE_OFFSET_MASK = (1 << PAGE_SHIFT) - 1
 
@@ -110,6 +121,10 @@ class MachineConfig:
     check_invariants: bool = False
     #: Accesses between sanitizer sweeps when ``check_invariants`` is on.
     sanitizer_interval_accesses: int = 2000
+    #: Telemetry recording; None (the default) is the null-object — no
+    #: event bus exists, every probe site is one ``is not None`` check
+    #: on the cold path, and run output stays byte-identical.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 class Machine:
@@ -153,6 +168,20 @@ class Machine:
             self.repair = RepairEngine(
                 self.cluster, self.health, self.swap_space, config.repair
             )
+        #: Telemetry, armed only on request.  Probes are observers: they
+        #: never touch RNG state or simulator bookkeeping, so an
+        #: instrumented run produces the same RunResult counters as an
+        #: uninstrumented one (pinned by tests/test_telemetry.py).
+        self.telemetry: Optional[Telemetry] = None
+        if config.telemetry is not None:
+            self.telemetry = Telemetry(config.telemetry)
+            bus = self.telemetry.bus
+            for node in self.cluster.nodes:
+                node.fabric.probe = bus.probe(node=node.node_id)
+            if self.health is not None:
+                self.health.bus = bus
+            if self.repair is not None:
+                self.repair.bus = bus
         self.sanitizer: Optional[InvariantSanitizer] = (
             InvariantSanitizer(self) if config.check_invariants else None
         )
@@ -518,12 +547,14 @@ class Machine:
         ppn = self.frames.allocate(pid, vpn)
         pte.ppn = ppn
         slot = pte.swap_slot
+        zero_filled = False
         if self._slot_is_lost(slot):
             # Every replica died with its node: nothing to fetch.  Map a
             # zero-filled frame and carry on — the disaggregated-memory
             # analogue of an uncorrectable machine check.
             rdma_wait = 0.0
             self.pages_zero_filled += 1
+            zero_filled = True
         elif self.faults is None:
             node = self.cluster.primary_node(slot)
             completion = node.fabric.read_page(self.now_us, priority=True)
@@ -536,6 +567,7 @@ class Machine:
                 # the detection latency is paid, then zero-fill.
                 rdma_wait = gone.waited_us
                 self.pages_zero_filled += 1
+                zero_filled = True
         table.map_page(vpn, ppn)
         self._release_remote_copy(pid, vpn, slot)
         self._lru_of_pid(pid).insert(pid, vpn)
@@ -567,6 +599,16 @@ class Machine:
             issue_cost = issued * T_PREFETCH_ISSUE_US
             cost += issue_cost
             self.breakdown.remote_fault_us += issue_cost
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(
+                EV_DEMAND_FAULT,
+                self.now_us,
+                pid=pid,
+                vpn=vpn,
+                wait_us=rdma_wait,
+                cost_us=cost,
+                zero_filled=zero_filled,
+            )
         return cost
 
     def _demand_fetch_resilient(self, pid: int, vpn: int, slot: int) -> float:
@@ -616,6 +658,10 @@ class Machine:
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.bus.emit(
+                        EV_RETRY, t, op="demand", node=node.node_id
+                    )
                 if (
                     isinstance(fault, RemoteUnavailableError)
                     and len(candidates) > 1
@@ -679,6 +725,13 @@ class Machine:
             self.dropped_by_tier[tier] = self.dropped_by_tier.get(tier, 0) + 1
             if self.hopp is not None:
                 self.hopp.on_prefetch_dropped(now_us)
+            if self.telemetry is not None:
+                bus = self.telemetry.bus
+                bus.emit(
+                    EV_PREFETCH_ISSUE, now_us,
+                    pid=pid, vpn=vpn, tier=tier, arrival_us=-1.0,
+                )
+                bus.emit(EV_PREFETCH_DROP, now_us, tier=tier, n=1)
             return None
         self._note_peak()
         pte.state = PteState.INFLIGHT
@@ -690,6 +743,11 @@ class Machine:
         heapq.heappush(self._arrivals, (completion, self._arrival_seq, pid, vpn))
         self.prefetch_issued += 1
         self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + 1
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(
+                EV_PREFETCH_ISSUE, now_us,
+                pid=pid, vpn=vpn, tier=tier, arrival_us=completion,
+            )
         return completion
 
     def prefetch_batch(
@@ -746,7 +804,15 @@ class Machine:
                 )
                 if self.hopp is not None:
                     self.hopp.on_prefetch_dropped(now_us)
+                if self.telemetry is not None:
+                    bus = self.telemetry.bus
+                    bus.emit(
+                        EV_PREFETCH_ISSUE, now_us,
+                        tier=tier, arrival_us=-1.0, n=count,
+                    )
+                    bus.emit(EV_PREFETCH_DROP, now_us, tier=tier, n=count)
                 continue
+            emit = self.telemetry.bus.emit if self.telemetry is not None else None
             for vpn, arrival in zip(vpns, arrivals):
                 self._ensure_headroom(pid)
                 cgroup.charge(1, prefetch=True)
@@ -760,6 +826,11 @@ class Machine:
                 pte.injected = inject_pte
                 self._arrival_seq += 1
                 heapq.heappush(self._arrivals, (arrival, self._arrival_seq, pid, vpn))
+                if emit is not None:
+                    emit(
+                        EV_PREFETCH_ISSUE, now_us,
+                        pid=pid, vpn=vpn, tier=tier, arrival_us=arrival,
+                    )
             self._note_peak()
             self.prefetch_issued += len(vpns)
             self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + len(vpns)
@@ -769,7 +840,7 @@ class Machine:
 
     def _process_arrivals(self, upto_us: float) -> None:
         while self._arrivals and self._arrivals[0][0] <= upto_us:
-            _, _, pid, vpn = heapq.heappop(self._arrivals)
+            arrival, _, pid, vpn = heapq.heappop(self._arrivals)
             table = self._page_tables[pid]
             pte = table.entry(vpn)
             if pte.state != PteState.INFLIGHT:
@@ -782,6 +853,11 @@ class Machine:
                 pte.state = PteState.SWAPCACHE
                 self.swapcache.insert(pid, vpn, pte.arrival_us)
             self._lru_of_pid(pid).insert(pid, vpn)
+            if self.telemetry is not None:
+                self.telemetry.bus.emit(
+                    EV_PREFETCH_LAND, arrival,
+                    pid=pid, vpn=vpn, tier=pte.prefetch_tier,
+                )
 
     # -- prefetch-hit accounting --------------------------------------------------------
 
@@ -799,6 +875,11 @@ class Machine:
             self.prefetch_hit_inflight += 1
         cgroup = self._cgroup_of[pid]
         cgroup.promote_prefetch(1)
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(
+                EV_PREFETCH_HIT, self.now_us,
+                pid=pid, vpn=vpn, tier=tier, where=kind,
+            )
         if self.hopp is not None:
             self.hopp.on_page_mapped(pid, vpn, self.now_us)
         if (
@@ -850,6 +931,10 @@ class Machine:
         was_prefetch_charge = False
         if pte.state == PteState.SWAPCACHE:
             self.swapcache.drop(pid, vpn)
+            if self.telemetry is not None:
+                self.telemetry.bus.emit(
+                    EV_CACHE_INVALIDATE, self.now_us, pid=pid, vpn=vpn
+                )
             if self._slot_is_lost(pte.swap_slot):
                 # The remote copy died with its node; this swapcache
                 # page is the last copy left.  Write it back to a fresh
@@ -898,6 +983,11 @@ class Machine:
         if wasted:
             pte.prefetched = False
             self.prefetch_wasted += 1
+            if self.telemetry is not None:
+                self.telemetry.bus.emit(
+                    EV_PREFETCH_UNUSED, self.now_us,
+                    pid=pid, vpn=vpn, tier=pte.prefetch_tier,
+                )
             if self.hopp is not None:
                 self.hopp.on_page_evicted(pid, vpn)
             if (
@@ -945,6 +1035,10 @@ class Machine:
                 if attempts > self.config.demand_retry_limit:
                     raise RemoteFetchFatalError(pid, vpn, attempts) from fault
                 self.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.bus.emit(
+                        EV_RETRY, t, op="writeback", node=node.node_id
+                    )
                 if (
                     isinstance(fault, RemoteUnavailableError)
                     and self.cluster.node_count > 1

@@ -97,6 +97,31 @@ class RunResult:
     directory_misses: int = 0
     #: Cross-layer sanitizer sweeps that ran (and passed) this run.
     invariant_checks: int = 0
+    #: Accumulated-but-previously-unreported machine counters, surfaced
+    #: only under ``to_dict(full=True)`` (adding default keys would
+    #: break the golden byte-identity contract).
+    #: Application compute time overlapped with memory stalls.
+    compute_us: float = 0.0
+    #: Memory-controller write accesses and total bytes moved.
+    mc_writes: int = 0
+    mc_bytes: int = 0
+    #: Reclaimer detail beyond ``reclaim_pages``.
+    reclaim_batches: int = 0
+    reclaim_clean_drops: int = 0
+    reclaim_writebacks: int = 0
+    reclaim_background_us: float = 0.0
+    #: Swapcache traffic (inserts/hits/drops of prefetched pages).
+    swapcache_inserts: int = 0
+    swapcache_hits: int = 0
+    swapcache_drops: int = 0
+    #: HoPP-side occurrences with no RunResult home until now.
+    hopp_hot_pages_unresolved: int = 0
+    prefetch_duplicates: int = 0
+    prefetch_rejected: int = 0
+    fabric_drop_signals: int = 0
+    #: Telemetry export (None when telemetry was disabled — the key is
+    #: then absent from to_dict output, keeping goldens byte-identical).
+    telemetry: Optional[Dict[str, object]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -250,7 +275,25 @@ class RunResult:
                 "p90": self.timeliness.quantile(0.9),
                 "count": self.timeliness.stat.count,
             }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
         if full:
+            out["machine"] = {
+                "compute_us": self.compute_us,
+                "mc_writes": self.mc_writes,
+                "mc_bytes": self.mc_bytes,
+                "reclaim_batches": self.reclaim_batches,
+                "reclaim_clean_drops": self.reclaim_clean_drops,
+                "reclaim_writebacks": self.reclaim_writebacks,
+                "reclaim_background_us": self.reclaim_background_us,
+                "swapcache_inserts": self.swapcache_inserts,
+                "swapcache_hits": self.swapcache_hits,
+                "swapcache_drops": self.swapcache_drops,
+                "hopp_hot_pages_unresolved": self.hopp_hot_pages_unresolved,
+                "prefetch_duplicates": self.prefetch_duplicates,
+                "prefetch_rejected": self.prefetch_rejected,
+                "fabric_drop_signals": self.fabric_drop_signals,
+            }
             if self.timeliness is not None:
                 stat = self.timeliness.stat
                 out["timeliness_hist"] = {
@@ -295,6 +338,7 @@ class RunResult:
             timeliness.stat.max = stat["max"]
         cluster = data.get("cluster", {})
         recovery = data.get("recovery", {})
+        machine = data.get("machine", {})
         result = cls(
             system=data["system"],
             workload=data["workload"],
@@ -344,6 +388,21 @@ class RunResult:
             repair_retries=recovery.get("repair_retries", 0),
             directory_misses=recovery.get("directory_misses", 0),
             invariant_checks=recovery.get("invariant_checks", 0),
+            compute_us=machine.get("compute_us", 0.0),
+            mc_writes=machine.get("mc_writes", 0),
+            mc_bytes=machine.get("mc_bytes", 0),
+            reclaim_batches=machine.get("reclaim_batches", 0),
+            reclaim_clean_drops=machine.get("reclaim_clean_drops", 0),
+            reclaim_writebacks=machine.get("reclaim_writebacks", 0),
+            reclaim_background_us=machine.get("reclaim_background_us", 0.0),
+            swapcache_inserts=machine.get("swapcache_inserts", 0),
+            swapcache_hits=machine.get("swapcache_hits", 0),
+            swapcache_drops=machine.get("swapcache_drops", 0),
+            hopp_hot_pages_unresolved=machine.get("hopp_hot_pages_unresolved", 0),
+            prefetch_duplicates=machine.get("prefetch_duplicates", 0),
+            prefetch_rejected=machine.get("prefetch_rejected", 0),
+            fabric_drop_signals=machine.get("fabric_drop_signals", 0),
+            telemetry=data.get("telemetry"),
             extra=dict(data.get("extra", {})),
         )
         return result

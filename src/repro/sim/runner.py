@@ -13,6 +13,7 @@ from repro.sim import systems as systems_mod
 from repro.sim.machine import Machine, MachineConfig
 from repro.sim.metrics import RunResult
 from repro.sim.systems import SystemSpec
+from repro.telemetry import TelemetryConfig
 from repro.workloads.base import Workload
 
 #: Local-memory fraction used when measuring CT_local (big enough that
@@ -34,6 +35,7 @@ def make_machine(
     fault_plan: Optional[FaultPlan] = None,
     cluster: Optional[ClusterConfig] = None,
     check_invariants: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -48,6 +50,7 @@ def make_machine(
         fault_plan=fault_plan,
         cluster=cluster or ClusterConfig(),
         check_invariants=check_invariants,
+        telemetry=telemetry,
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -94,6 +97,16 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         pages_zero_filled=machine.pages_zero_filled,
         pages_salvaged=machine.pages_salvaged,
         directory_misses=machine.cluster.directory_misses,
+        compute_us=machine.compute_us,
+        mc_writes=machine.controller.writes,
+        mc_bytes=machine.controller.bytes_transferred,
+        reclaim_batches=machine.reclaimer.stats.batches,
+        reclaim_clean_drops=machine.reclaimer.stats.clean_drops,
+        reclaim_writebacks=machine.reclaimer.stats.writebacks,
+        reclaim_background_us=machine.reclaimer.stats.background_us,
+        swapcache_inserts=machine.swapcache.inserts,
+        swapcache_hits=machine.swapcache.hits,
+        swapcache_drops=machine.swapcache.drops,
     )
     if machine.health is not None:
         result.node_crashes = machine.health.node_crashes
@@ -110,6 +123,10 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         result.invariant_checks = machine.sanitizer.checks_run
     if machine.hopp is not None:
         plane = machine.hopp
+        result.hopp_hot_pages_unresolved = plane.hot_pages_unresolved
+        result.prefetch_duplicates = plane.executor.duplicates
+        result.prefetch_rejected = plane.executor.rejected
+        result.fabric_drop_signals = plane.executor.fabric_dropped
         if plane.executor.breaker is not None:
             result.degraded_mode_us = plane.executor.breaker.time_degraded_us(
                 machine.now_us
@@ -126,6 +143,18 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
                 "stt_observations": float(plane.stt.observations_out),
             }
         )
+    if machine.telemetry is not None:
+        result.telemetry = machine.telemetry.export(
+            machine.now_us,
+            node_metrics=[
+                {
+                    "node": node.node_id,
+                    "remote": node.remote.metrics_snapshot(),
+                    "fabric": node.fabric.metrics_snapshot(),
+                }
+                for node in machine.cluster.nodes
+            ],
+        )
     return result
 
 
@@ -138,12 +167,15 @@ def run(
     cluster: Optional[ClusterConfig] = None,
     check_invariants: bool = False,
     trace: Optional[Iterable] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point.
 
     ``trace`` overrides the workload's generated reference stream — the
     execution engine passes a materialized trace here so a sweep
     generates each workload's stream once instead of once per point.
+    ``telemetry`` arms the event bus / time-series recording; None (the
+    default) is the probe-free null-object.
     Every kwarg added to this signature must also be added to
     :class:`repro.exec.spec.RunSpec`, or cached results would silently
     ignore it (tests/test_exec_cache.py audits the two)."""
@@ -156,6 +188,7 @@ def run(
         fault_plan,
         cluster,
         check_invariants,
+        telemetry,
     )
     machine.run(workload.trace() if trace is None else trace)
     # Let in-flight recovery converge before measuring (no-op unless a

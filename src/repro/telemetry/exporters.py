@@ -1,0 +1,303 @@
+"""Telemetry exporters: Chrome/Perfetto trace JSON and Prometheus text.
+
+Two consumption shapes for the same run:
+
+* :class:`TraceRecorder` — subscribes to the bus and renders the swap
+  path and every prefetch lifecycle as Chrome trace-event JSON
+  (``chrome://tracing`` / https://ui.perfetto.dev, "load trace").
+  Demand faults and prefetches are ``"X"`` complete events (ts/dur in
+  microseconds — the simulator's native unit, so no scaling); hits,
+  drops, retries, node transitions and repairs are ``"i"`` instants.
+  High-volume kinds (per-READ fabric counts, latency samples) are left
+  to the time-series engine — a trace is a timeline, not a metric
+  store.
+* :func:`prometheus_snapshot` — renders a finished ``RunResult`` into
+  Prometheus text exposition format.  Per-node rows come from the
+  unified ``metrics_snapshot()`` on ``RemoteMemoryNode`` and
+  ``RdmaFabric``: every counter key ends in ``_total`` and every gauge
+  key does not, so the exporter needs zero per-class special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .events import (
+    EV_CACHE_INVALIDATE,
+    EV_DEMAND_FAULT,
+    EV_NODE_STATE,
+    EV_PREFETCH_DROP,
+    EV_PREFETCH_GATE,
+    EV_PREFETCH_HIT,
+    EV_PREFETCH_ISSUE,
+    EV_PREFETCH_UNUSED,
+    EV_REPAIR,
+    EV_RETRY,
+    EventBus,
+)
+
+#: Synthetic pid/tids for the trace timeline.  One "process" (the
+#: machine), four "threads" grouping the phases a human scrubs through.
+TRACE_PID = 1
+TID_SWAP = 1
+TID_PREFETCH = 2
+TID_CLUSTER = 3
+TID_REPAIR = 4
+
+_THREAD_NAMES = (
+    (TID_SWAP, "swap-path"),
+    (TID_PREFETCH, "prefetch"),
+    (TID_CLUSTER, "cluster"),
+    (TID_REPAIR, "repair"),
+)
+
+
+def _metadata_events() -> List[Dict[str, object]]:
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro-machine"},
+        }
+    ]
+    for tid, name in _THREAD_NAMES:
+        events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+class TraceRecorder:
+    """Bus subscriber that accumulates Chrome trace events.
+
+    Bounded by ``limit``: past it, events are counted as ``dropped``
+    instead of stored, so a pathological run cannot OOM the harness.
+    """
+
+    def __init__(self, bus: EventBus, limit: int = 200_000) -> None:
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self.events: List[Dict[str, object]] = []
+        self.dropped = 0
+        bus.subscribe(self.on_event)
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    def _push(self, event: Dict[str, object]) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def _span(self, tid, name, ts_us, dur_us, args) -> None:
+        self._push(
+            {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": name,
+                "ts": ts_us,
+                "dur": dur_us if dur_us > 0 else 0,
+                "args": args,
+            }
+        )
+
+    def _instant(self, tid, name, ts_us, args) -> None:
+        self._push(
+            {
+                "ph": "i",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": name,
+                "ts": ts_us,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    def on_event(self, kind: str, ts_us: float, fields: Dict[str, object]) -> None:
+        if kind == EV_DEMAND_FAULT:
+            self._span(
+                TID_SWAP,
+                "zero_fill" if fields.get("zero_filled") else "demand_fault",
+                ts_us,
+                fields.get("cost_us", 0.0),
+                {
+                    "pid": fields.get("pid"),
+                    "vpn": fields.get("vpn"),
+                    "wait_us": fields.get("wait_us"),
+                },
+            )
+        elif kind == EV_PREFETCH_ISSUE:
+            arrival = fields.get("arrival_us", -1.0)
+            tier = fields.get("tier", "?")
+            if arrival is not None and arrival >= 0:
+                self._span(
+                    TID_PREFETCH,
+                    f"prefetch:{tier}",
+                    ts_us,
+                    arrival - ts_us,
+                    {"pid": fields.get("pid"), "vpn": fields.get("vpn")},
+                )
+            else:
+                self._instant(
+                    TID_PREFETCH,
+                    f"prefetch_dropped:{tier}",
+                    ts_us,
+                    {"n": fields.get("n", 1)},
+                )
+        elif kind == EV_PREFETCH_DROP:
+            # The paired EV_PREFETCH_ISSUE already drew the dropped
+            # instant; keep the drop out of the timeline to avoid
+            # double-marking while the time-series still counts it.
+            return
+        elif kind == EV_PREFETCH_HIT:
+            self._instant(
+                TID_PREFETCH,
+                f"hit:{fields.get('where', '?')}",
+                ts_us,
+                {"vpn": fields.get("vpn"), "tier": fields.get("tier")},
+            )
+        elif kind == EV_PREFETCH_UNUSED:
+            self._instant(
+                TID_PREFETCH, "evict_unused", ts_us, {"vpn": fields.get("vpn")}
+            )
+        elif kind == EV_PREFETCH_GATE:
+            self._instant(TID_PREFETCH, "breaker_suppressed", ts_us, {})
+        elif kind == EV_RETRY:
+            self._instant(
+                TID_SWAP,
+                f"retry:{fields.get('op', '?')}",
+                ts_us,
+                {"node": fields.get("node")},
+            )
+        elif kind == EV_NODE_STATE:
+            self._instant(
+                TID_CLUSTER,
+                f"node{fields.get('node')}:{fields.get('frm')}->{fields.get('to')}",
+                ts_us,
+                {"node": fields.get("node")},
+            )
+        elif kind == EV_REPAIR:
+            self._instant(
+                TID_REPAIR,
+                str(fields.get("task", "repair")),
+                ts_us,
+                {"slot": fields.get("slot"), "node": fields.get("node")},
+            )
+        elif kind == EV_CACHE_INVALIDATE:
+            self._instant(
+                TID_SWAP, "swapcache_invalidate", ts_us, {"vpn": fields.get("vpn")}
+            )
+        # EV_PREFETCH_LAND is the end of the issue span (arrival_us),
+        # EV_FABRIC_*/EV_FETCH_LATENCY/EV_TIMELINESS are metric volume:
+        # all intentionally absent from the timeline.
+
+
+def chrome_trace(events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap recorded events into a Chrome trace-event JSON object
+    (Perfetto's "JSON trace" input).  Metadata naming events are
+    prepended so the UI shows labeled tracks."""
+    return {
+        "traceEvents": _metadata_events() + list(events),
+        "displayTimeUnit": "ms",
+    }
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+#: HELP strings for the aggregate metrics; anything absent still gets a
+#: generated line, these just read better for the common rows.
+_HELP = {
+    "repro_accesses_total": "Application memory accesses simulated",
+    "repro_remote_demand_reads_total": "Demand reads served over the fabric",
+    "repro_prefetch_issued_total": "Prefetch READs issued",
+    "repro_prefetch_hits_total": "First app touches of prefetched pages",
+    "repro_prefetch_wasted_total": "Prefetched pages evicted unused",
+    "repro_fabric_reads_total": "Page READs on all fabric links",
+    "repro_fabric_writes_total": "Page WRITEs on all fabric links",
+    "repro_retries_total": "Synchronous transfer retries",
+    "repro_timeouts_total": "Injected transfer timeouts observed",
+    "repro_completion_time_us": "Simulated completion time",
+    "repro_coverage_ratio": "Prefetch coverage (paper metric)",
+    "repro_accuracy_ratio": "Prefetch accuracy over delivered pages",
+}
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _metric_lines(name: str, rows: List) -> List[str]:
+    """One ``# HELP``/``# TYPE`` header plus one sample line per
+    (labels, value) row.  Counter vs gauge comes purely from the
+    ``_total`` suffix convention — the key-naming contract the unified
+    ``metrics_snapshot()`` satellite exists to uphold."""
+    kind = "counter" if name.endswith("_total") else "gauge"
+    lines = [
+        f"# HELP {name} {_HELP.get(name, name.replace('_', ' '))}",
+        f"# TYPE {name} {kind}",
+    ]
+    for labels, value in rows:
+        if labels:
+            label_txt = ",".join(f'{k}="{v}"' for k, v in labels)
+            lines.append(f"{name}{{{label_txt}}} {_fmt_value(value)}")
+        else:
+            lines.append(f"{name} {_fmt_value(value)}")
+    return lines
+
+
+def prometheus_snapshot(result) -> str:
+    """Render a finished RunResult as Prometheus text exposition.
+
+    Per-node families come from ``result.telemetry["node_metrics"]``
+    (the unified per-node ``metrics_snapshot()`` dicts captured at
+    collect time), so the exporter works on a deserialized result with
+    no live machine attached."""
+    base_labels = (("system", result.system), ("workload", result.workload))
+    metrics: Dict[str, List] = {}
+
+    def put(name: str, value: object, extra_labels=()) -> None:
+        metrics.setdefault(name, []).append(
+            (base_labels + tuple(extra_labels), value)
+        )
+
+    put("repro_accesses_total", result.accesses)
+    put("repro_remote_demand_reads_total", result.remote_demand_reads)
+    put("repro_prefetch_issued_total", result.prefetch_issued)
+    put("repro_prefetch_hits_total", result.prefetch_hits)
+    put("repro_prefetch_wasted_total", result.prefetch_wasted)
+    put("repro_fabric_reads_total", result.fabric_reads)
+    put("repro_fabric_writes_total", result.fabric_writes)
+    put("repro_retries_total", result.retries)
+    put("repro_timeouts_total", result.timeouts)
+    put("repro_completion_time_us", result.completion_time_us)
+    put("repro_coverage_ratio", result.coverage)
+    put("repro_accuracy_ratio", result.accuracy)
+
+    telemetry = getattr(result, "telemetry", None) or {}
+    for entry in telemetry.get("node_metrics", ()):
+        node_label = (("node", entry["node"]),)
+        for scope in ("remote", "fabric"):
+            for key, value in sorted(entry.get(scope, {}).items()):
+                put(f"repro_{scope}_{key}", value, node_label)
+
+    lines: List[str] = []
+    for name in sorted(metrics):
+        lines.extend(_metric_lines(name, metrics[name]))
+    return "\n".join(lines) + "\n"

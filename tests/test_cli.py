@@ -50,6 +50,43 @@ class TestRun:
         assert "crash:<int>" in capsys.readouterr().err
 
 
+class TestTelemetryFlags:
+    def test_run_with_telemetry_artifacts(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        prom_file = tmp_path / "metrics.prom"
+        code = main([
+            "run", "-w", "stream-simple", "-s", "hopp", "-f", "0.5",
+            "--no-cache", "--telemetry",
+            "--trace-out", str(trace_file),
+            "--prom-out", str(prom_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry events / epochs" in out
+        trace = json.loads(trace_file.read_text())
+        assert any(ev.get("ph") == "X" for ev in trace["traceEvents"])
+        prom = prom_file.read_text()
+        assert "# TYPE repro_accesses_total counter" in prom
+        assert 'workload="stream-simple"' in prom
+
+    def test_trace_out_implies_telemetry(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main([
+            "run", "-w", "stream-simple", "-s", "fastswap",
+            "--no-cache", "--trace-out", str(trace_file),
+        ])
+        assert code == 0
+        assert trace_file.exists()
+
+    def test_default_run_has_no_telemetry_rows(self, capsys):
+        assert main(["run", "-w", "stream-simple", "-s", "fastswap",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry events" not in out
+
+
 class TestFaultPlanPresets:
     def test_crash_presets_resolve(self):
         from repro.cli import _load_fault_plan

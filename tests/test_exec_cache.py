@@ -24,6 +24,7 @@ from repro.net.rdma import FabricConfig
 from repro.sim import runner
 from repro.sim import systems as systems_mod
 from repro.sim.systems import SystemSpec
+from repro.telemetry import TelemetryConfig
 from repro.workloads import registry as workload_registry
 from repro.workloads.base import Workload
 from tests.conftest import quiet_fabric
@@ -59,6 +60,8 @@ class TestCacheKey:
             dict(fault_plan=FaultPlan.chaos(3)),
             dict(cluster=ClusterConfig(nodes=3)),
             dict(check_invariants=True),
+            dict(telemetry=TelemetryConfig()),
+            dict(telemetry=TelemetryConfig(epoch_us=500.0)),
         ],
     )
     def test_every_field_perturbs_the_key(self, override):
@@ -81,6 +84,13 @@ class TestCacheKey:
         # it; None leaves it unbuilt.  They are different runs.
         assert cache_key(small_spec(fault_plan=FaultPlan())) != cache_key(
             small_spec(fault_plan=None)
+        )
+
+    def test_default_telemetry_differs_from_none(self):
+        # Probes never change simulator counters, but an instrumented
+        # RunResult carries the telemetry blob — a different artifact.
+        assert cache_key(small_spec(telemetry=TelemetryConfig())) != cache_key(
+            small_spec(telemetry=None)
         )
 
     def test_schema_version_perturbs_the_key(self, monkeypatch):
@@ -106,6 +116,7 @@ class TestRunnerSignatureAudit:
         assert set(key) == {
             "workload", "workload_kwargs", "seed", "system", "fraction",
             "fabric", "fault_plan", "cluster", "check_invariants",
+            "telemetry",
         }
         # The projection must be JSON-stable (the hash input).
         json.dumps(key, sort_keys=True)

@@ -8,11 +8,14 @@ order regardless of completion order.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis.sweeps import SweepPoint, sweep
 from repro.exec.cache import ResultCache, TraceCache
 from repro.exec.pool import execute, local_ct_spec, run_spec
 from repro.exec.spec import RunSpec
 from repro.sim import runner
+from repro.telemetry import TelemetryConfig
 from tests.conftest import quiet_fabric
 
 SMALL = {"npages": 64, "passes": 1}
@@ -86,6 +89,53 @@ class TestExecute:
         engine_ct = run_spec(spec).completion_time_us
         workload = build("stream-simple", seed=3, **SMALL)
         assert engine_ct == runner.local_completion_time(workload, quiet_fabric(3))
+
+
+class TestTelemetryOnPool:
+    def telemetry_grid(self, **telemetry_kwargs):
+        specs = grid()
+        for spec in specs:
+            spec.telemetry = TelemetryConfig(**telemetry_kwargs)
+        return specs
+
+    def test_timeseries_rides_the_worker_wire(self):
+        # Per-run time-series telemetry serializes through the worker
+        # wire format: parallel results must be byte-identical to
+        # serial, telemetry blob included.
+        specs = self.telemetry_grid(epoch_us=500.0)
+        serial = execute(specs, jobs=1)
+        parallel = execute(specs, jobs=2)
+        assert dicts(parallel) == dicts(serial)
+        for result in parallel:
+            assert result.telemetry is not None
+            assert result.telemetry["timeseries"]["epochs"] >= 1
+
+    def test_trace_telemetry_refused_in_parallel(self):
+        specs = self.telemetry_grid(trace=True)
+        with pytest.raises(ValueError, match="trace-timeline"):
+            execute(specs, jobs=2)
+
+    def test_trace_telemetry_allowed_serially(self):
+        # Two passes so evicted pages are re-faulted: a single pass
+        # never revisits a page and leaves nothing on the timeline.
+        spec = RunSpec(
+            workload="stream-simple",
+            system="hopp",
+            fraction=0.25,
+            seed=3,
+            workload_kwargs={"npages": 64, "passes": 2},
+            fabric=quiet_fabric(3),
+            telemetry=TelemetryConfig(trace=True),
+        )
+        result = execute([spec], jobs=1)[0]
+        assert result.telemetry is not None
+        assert result.telemetry["trace_events"]
+
+    def test_refusal_names_the_offending_specs(self):
+        specs = grid()
+        specs[2].telemetry = TelemetryConfig(trace=True)
+        with pytest.raises(ValueError, match=specs[2].label()):
+            execute(specs, jobs=2)
 
 
 class TestSweepOnEngine:
