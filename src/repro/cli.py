@@ -206,6 +206,48 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="HPD hot threshold N")
     study_parser.add_argument("--offset", type=int, default=4,
                               help="prefetch offset i for the replay")
+
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="tenant-scale overload scenario: admission control, SLO "
+             "tracking, graceful degradation, elastic scale-out",
+    )
+    scenario_parser.add_argument(
+        "--preset", default="smoke",
+        help="scenario preset: smoke, burst, diurnal, or flash",
+    )
+    scenario_parser.add_argument(
+        "--tenants", type=int, default=None,
+        help="override the preset's fleet size (mixed-pattern fleet)",
+    )
+    scenario_parser.add_argument("--rounds", type=int, default=None)
+    scenario_parser.add_argument(
+        "--accesses-per-round", type=int, default=None,
+        help="base per-tenant access quota per round",
+    )
+    scenario_parser.add_argument("--remote-nodes", type=int, default=None,
+                                 help="initially active remote nodes")
+    scenario_parser.add_argument("--standby-nodes", type=int, default=None,
+                                 help="parked nodes the autoscaler can rack in")
+    scenario_parser.add_argument("--replication", type=int, default=None)
+    scenario_parser.add_argument(
+        "--gbps", type=float, default=None,
+        help="fabric bandwidth; narrow it to manufacture saturation",
+    )
+    scenario_parser.add_argument("--seed", type=int, default=1)
+    scenario_parser.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="chaos overlay under the scenario: same presets/files as "
+             "'run --fault-plan'",
+    )
+    scenario_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full RunResult (scenario section included)",
+    )
+    scenario_parser.add_argument(
+        "--slo-out", default=None, metavar="PATH",
+        help="write the per-tenant SLO attainment report",
+    )
     return parser
 
 
@@ -558,6 +600,85 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from repro.scenario import build_fleet, preset, run_scenario
+    from repro.scenario.traffic import TIER_GUARANTEED
+
+    overrides = {"seed": args.seed}
+    for attr in ("rounds", "accesses_per_round", "remote_nodes",
+                 "standby_nodes", "replication"):
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[attr] = value
+    if args.tenants is not None:
+        overrides["tenants"] = tuple(
+            build_fleet(
+                args.tenants,
+                seed=args.seed,
+                rounds=overrides.get("rounds", 8),
+                pages_per_tenant=120,
+            )
+        )
+    if args.gbps is not None:
+        overrides["fabric"] = FabricConfig(gbps=args.gbps)
+    fault_plan = _load_fault_plan(args.fault_plan, args.seed)
+    if fault_plan is not None:
+        overrides["fault_plan"] = fault_plan
+
+    config = preset(args.preset, **overrides)
+    result = run_scenario(config)
+    section = result.scenario
+    admission = section["admission"]
+    autoscaler = section["autoscaler"]
+
+    tier_of = {spec.name: spec.tier for spec in config.tenants}
+    attain = {TIER_GUARANTEED: [], "best_effort": []}
+    for name, tenant in section["slo"]["tenants"].items():
+        attain[tier_of[name]].append(tenant["attainment"])
+
+    def _mean(values):
+        return f"{sum(values) / len(values):.3f}" if values else "n/a"
+
+    rows = [
+        ["tenants (admitted/total)",
+         f"{section['admitted']}/{section['tenants']}"],
+        ["rounds", section["rounds"]],
+        ["final ladder level", admission["level_name"]],
+        ["admissions / rejections",
+         f"{admission['admissions']} / {admission['rejections']}"],
+        ["deferrals", section["deferrals"]],
+        ["prefetch throttled", section["shedding"]["prefetch_throttled"]],
+        ["prefetch over-limit rejects",
+         section["shedding"]["prefetch_overlimit_rejects"]],
+        ["degradations / restorations",
+         f"{admission['degradations']} / {admission['restorations']}"],
+        ["scale-outs / scale-ins",
+         f"{autoscaler['scale_outs']} / {autoscaler['scale_ins']}"],
+        ["active nodes at end", len(autoscaler["active_nodes"])],
+        ["fatal faults absorbed",
+         section["fatal"]["fatal_faults_absorbed"]],
+        ["writebacks abandoned",
+         section["fatal"]["writebacks_abandoned"]],
+        ["cluster conserved",
+         section["conservation"]["cluster_conserved"]],
+        ["SLO attainment (guaranteed)", _mean(attain[TIER_GUARANTEED])],
+        ["SLO attainment (best-effort)", _mean(attain["best_effort"])],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"scenario '{config.name}'"))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(full=True), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    if args.slo_out:
+        Path(args.slo_out).write_text(
+            json.dumps(section["slo"], indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.slo_out}")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -566,6 +687,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "study": _cmd_study,
+    "scenario": _cmd_scenario,
 }
 
 

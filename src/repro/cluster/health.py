@@ -110,6 +110,15 @@ class HealthMonitor:
             node.node_id: 0 for node in cluster.nodes
         }
         self._next_heartbeat_us = 0.0
+        #: Elastic-capacity overlay: node ids parked out of placement
+        #: (scenario autoscaler standby pool).  A standby node keeps its
+        #: UP state machine — it is healthy hardware, just not serving —
+        #: so crash detection still works the instant it is activated.
+        #: Empty (the default) leaves every placement decision untouched.
+        self._standby: set = set()
+        #: Nodes whose in-progress drain should park them in standby
+        #: instead of re-admitting them (autoscaler scale-in).
+        self._retire_after_drain: set = set()
         #: Telemetry event bus; None keeps transitions probe-free.  Set
         #: by the machine when telemetry is armed — the monitor never
         #: creates one itself.
@@ -126,8 +135,16 @@ class HealthMonitor:
         return self._states[node_id]
 
     def is_placeable(self, node_id: int) -> bool:
-        """New copies may land here (UP/SUSPECT/REJOINING)."""
+        """New copies may land here (UP/SUSPECT/REJOINING, not standby)."""
+        if node_id in self._standby:
+            return False
         return self._states[node_id] not in (NodeState.DOWN, NodeState.DRAINING)
+
+    def is_standby(self, node_id: int) -> bool:
+        return node_id in self._standby
+
+    def standby_nodes(self) -> List[int]:
+        return sorted(self._standby)
 
     def is_readable(self, node_id: int) -> bool:
         """Existing copies may be read (everything but DOWN)."""
@@ -195,10 +212,34 @@ class HealthMonitor:
         self._transition(node_id, NodeState.DRAINING, now_us)
 
     def finish_drain(self, node_id: int, now_us: float) -> None:
-        """The repair engine emptied a DRAINING node."""
+        """The repair engine emptied a DRAINING node.  A node flagged by
+        :meth:`retire_after_drain` parks in standby (scale-in); anyone
+        else re-admits at the next heartbeat (operator maintenance)."""
         if self._states[node_id] is NodeState.DRAINING:
             self.drains_completed += 1
-            self._transition(node_id, NodeState.REJOINING, now_us)
+            if node_id in self._retire_after_drain:
+                self._retire_after_drain.discard(node_id)
+                self._standby.add(node_id)
+                self._transition(node_id, NodeState.UP, now_us)
+            else:
+                self._transition(node_id, NodeState.REJOINING, now_us)
+
+    # -- elastic capacity (scenario autoscaler) ----------------------------------------
+
+    def retire(self, node_id: int) -> None:
+        """Park an (empty) node in standby immediately — used to mark
+        the initial standby pool before any page lands on it."""
+        self._standby.add(node_id)
+
+    def retire_after_drain(self, node_id: int) -> None:
+        """Flag a node so that, once its drain completes, it parks in
+        standby instead of rejoining placement."""
+        self._retire_after_drain.add(node_id)
+
+    def activate(self, node_id: int) -> None:
+        """Return a standby node to placement (autoscaler scale-out)."""
+        self._standby.discard(node_id)
+        self._retire_after_drain.discard(node_id)
 
     # -- internals --------------------------------------------------------------------
 

@@ -14,6 +14,8 @@ with :meth:`RunResult.from_dict`; the round trip is exact.
 
 from __future__ import annotations
 
+import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -27,6 +29,8 @@ from repro.workloads import build as build_workload
 #: Per-worker-process trace cache: a worker that lands several points of
 #: the same workload config generates its trace once.
 _WORKER_TRACES: Optional[TraceCache] = None
+
+logger = logging.getLogger(__name__)
 
 
 def run_spec(spec: RunSpec, trace_cache: Optional[TraceCache] = None) -> RunResult:
@@ -110,7 +114,14 @@ def execute(
                     "the worker wire format); run with jobs=1 or disable "
                     f"TelemetryConfig.trace for: {', '.join(tracing)}"
                 )
-            workers = min(jobs, len(pending))
+            # Oversubscribing cores buys nothing for CPU-bound workers
+            # and costs fork + serialization overhead per extra process.
+            cores = os.cpu_count() or 1
+            if jobs > cores:
+                logger.warning(
+                    "clamping jobs=%d to %d (os.cpu_count())", jobs, cores
+                )
+            workers = min(jobs, cores, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 payloads = pool.map(_worker, [specs[index] for index in pending])
                 for index, payload in zip(pending, payloads):

@@ -145,6 +145,21 @@ class CircuitBreaker:
         if self.state == BreakerState.HALF_OPEN:
             self._probes_left += 1
 
+    def trip(self, now_us: float, cooldown_us: Optional[float] = None) -> None:
+        """Force the breaker OPEN regardless of the outcome window — the
+        load-shedding entry point.  The scenario admission controller
+        reuses the breaker as its per-tenant prefetch throttle: tripping
+        suspends issue for ``cooldown_us`` (defaults to the configured
+        cooldown), after which the normal half-open probe path decides
+        recovery.  Tripping an already-OPEN breaker just extends the
+        cooldown without counting another open."""
+        hold = cooldown_us if cooldown_us is not None else self.config.cooldown_us
+        if self.state == BreakerState.OPEN:
+            self._reopen_at_us = max(self._reopen_at_us, now_us + hold)
+            return
+        self._open(now_us)
+        self._reopen_at_us = now_us + hold
+
     # -- observability ----------------------------------------------------------------
 
     def time_degraded_us(self, now_us: float) -> float:

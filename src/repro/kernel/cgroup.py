@@ -31,6 +31,9 @@ class MemoryCgroup:
     charged: int = 0
     max_charged: int = 0
     prefetch_uncharged: int = 0
+    #: Strict charges refused at the limit (each raised a
+    #: :class:`CgroupOverLimitError` that the caller absorbed).
+    overlimit_rejects: int = 0
 
     def charge(self, npages: int = 1, prefetch: bool = False, strict: bool = False) -> bool:
         """Account ``npages``; returns True when now over the limit (the
@@ -40,6 +43,7 @@ class MemoryCgroup:
             self.prefetch_uncharged += npages
             return False
         if strict and self.charged + npages > self.limit_pages:
+            self.overlimit_rejects += 1
             raise CgroupOverLimitError(
                 f"cgroup {self.name}: {self.charged}+{npages} > {self.limit_pages}"
             )
@@ -65,6 +69,12 @@ class MemoryCgroup:
             self.prefetch_uncharged = max(0, self.prefetch_uncharged - npages)
             return self.charge(npages)
         return False
+
+    def would_exceed(self, npages: int = 1) -> bool:
+        """Whether charging ``npages`` more would cross the limit — the
+        pre-flight check batch prefetch uses to trim a request to budget
+        instead of unwinding it page by page."""
+        return self.charged + npages > self.limit_pages
 
     @property
     def over_limit(self) -> bool:

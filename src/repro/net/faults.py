@@ -65,7 +65,9 @@ class RemoteUnavailableError(TransferTimeout):
 class RemoteFetchFatalError(FaultError):
     """A demand fetch (or reclaim writeback) exhausted its retry budget."""
 
-    def __init__(self, pid: int, vpn: int, attempts: int) -> None:
+    def __init__(
+        self, pid: int, vpn: int, attempts: int, waited_us: float = 0.0
+    ) -> None:
         super().__init__(
             f"remote fetch of (pid={pid}, vpn={vpn}) failed after "
             f"{attempts} attempts"
@@ -73,6 +75,9 @@ class RemoteFetchFatalError(FaultError):
         self.pid = pid
         self.vpn = vpn
         self.attempts = attempts
+        #: Elapsed time the issuer burned across every attempt — what an
+        #: absorbing caller must still charge to the fault.
+        self.waited_us = waited_us
 
 
 # -- the declarative plan -------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""Tenant-scale traffic scenarios: overload, shedding, elasticity.
+
+The public surface of the scenario engine:
+
+* :mod:`~repro.scenario.traffic` — tenant fleets and arrival patterns
+* :mod:`~repro.scenario.slo` — per-tenant SLO targets and attainment
+* :mod:`~repro.scenario.admission` — admission control and the
+  graceful-degradation ladder
+* :mod:`~repro.scenario.autoscaler` — elastic remote capacity over the
+  health monitor's standby pool
+* :mod:`~repro.scenario.engine` — the round loop that composes them
+"""
+
+from repro.scenario.admission import (
+    LEVEL_DEGRADE,
+    LEVEL_NOMINAL,
+    LEVEL_REJECT,
+    LEVEL_THROTTLE,
+    AdmissionController,
+    AdmissionRejectedError,
+    LadderConfig,
+)
+from repro.scenario.autoscaler import Autoscaler, AutoscalerConfig
+from repro.scenario.engine import (
+    PRESETS,
+    ScenarioConfig,
+    preset,
+    run_scenario,
+)
+from repro.scenario.slo import SloTarget, SloTracker
+from repro.scenario.traffic import (
+    TIER_BEST_EFFORT,
+    TIER_GUARANTEED,
+    TenantSpec,
+    build_fleet,
+    intensity,
+    pattern_names,
+    register_pattern,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "LadderConfig",
+    "LEVEL_DEGRADE",
+    "LEVEL_NOMINAL",
+    "LEVEL_REJECT",
+    "LEVEL_THROTTLE",
+    "PRESETS",
+    "ScenarioConfig",
+    "SloTarget",
+    "SloTracker",
+    "TenantSpec",
+    "TIER_BEST_EFFORT",
+    "TIER_GUARANTEED",
+    "build_fleet",
+    "intensity",
+    "pattern_names",
+    "preset",
+    "register_pattern",
+    "run_scenario",
+]

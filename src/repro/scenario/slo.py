@@ -1,0 +1,166 @@
+"""Per-tenant SLO tracking fed from the telemetry event bus.
+
+The tracker is one more :class:`~repro.telemetry.events.EventBus`
+subscriber — same contract as the time-series engine: it observes,
+never mutates, so an SLO-tracked run produces byte-identical simulator
+counters to an untracked one.
+
+It buckets every ``demand_fault`` event into fixed simulated-time
+epochs keyed by tenant (PID stride recovers the tenant index), keeps a
+log-bucketed latency histogram per (tenant, epoch), and counts
+zero-filled (lost-data) faults.  Attainment is evaluated per epoch
+against a declarative :class:`SloTarget`: an epoch *attains* when its
+p99 demand-fault latency is within target AND no lost page surfaced.
+The headline number per tenant is the fraction of trafficked epochs
+that attained — flat 1.0 for an idle tenant is meaningless, so idle
+epochs simply do not count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import Histogram
+from repro.telemetry.events import EV_DEMAND_FAULT
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """Declarative per-tier objective."""
+
+    #: p99 demand-fault latency ceiling per epoch (critical-path us).
+    p99_us: float = 100.0
+    #: Zero-filled (lost-data) faults tolerated per epoch.
+    max_lost: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p99_us <= 0:
+            raise ValueError("p99_us must be > 0")
+        if self.max_lost < 0:
+            raise ValueError("max_lost must be >= 0")
+
+
+class SloTracker:
+    """Bus subscriber keyed on ``demand_fault`` events.
+
+    ``tenant_of`` maps a PID to a tenant key (the scenario engine
+    passes ``pid // PID_STRIDE``); ``targets`` maps tenant key to its
+    :class:`SloTarget`.  Unknown tenants fall back to ``default``.
+    """
+
+    def __init__(
+        self,
+        epoch_us: float,
+        tenant_of,
+        targets: Optional[Dict[object, SloTarget]] = None,
+        default: SloTarget = SloTarget(),
+    ) -> None:
+        if epoch_us <= 0:
+            raise ValueError("epoch_us must be > 0")
+        self.epoch_us = epoch_us
+        self.tenant_of = tenant_of
+        self.targets: Dict[object, SloTarget] = dict(targets or {})
+        self.default = default
+        #: (tenant, epoch) -> latency histogram of demand-fault cost.
+        self._hists: Dict[Tuple[object, int], Histogram] = {}
+        #: (tenant, epoch) -> zero-filled fault count.
+        self._lost: Dict[Tuple[object, int], int] = {}
+        #: tenant -> total demand faults observed.
+        self.faults_by_tenant: Dict[object, int] = {}
+        self.events_seen = 0
+
+    # -- bus side ---------------------------------------------------------------------
+
+    def on_event(self, kind: str, ts_us: float, fields: Dict[str, object]) -> None:
+        if kind != EV_DEMAND_FAULT:
+            return
+        pid = fields.get("pid")
+        if pid is None:
+            return
+        tenant = self.tenant_of(pid)
+        if tenant is None:
+            return
+        self.events_seen += 1
+        epoch = int(ts_us // self.epoch_us)
+        key = (tenant, epoch)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram()
+        hist.add(float(fields.get("cost_us", 0.0)))
+        if fields.get("zero_filled"):
+            self._lost[key] = self._lost.get(key, 0) + 1
+        self.faults_by_tenant[tenant] = self.faults_by_tenant.get(tenant, 0) + 1
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def target_for(self, tenant) -> SloTarget:
+        return self.targets.get(tenant, self.default)
+
+    def epochs_of(self, tenant) -> List[int]:
+        return sorted(e for (t, e) in self._hists if t == tenant)
+
+    def epoch_p99(self, tenant, epoch: int) -> float:
+        hist = self._hists.get((tenant, epoch))
+        return hist.quantile(0.99) if hist is not None else 0.0
+
+    def epoch_attained(self, tenant, epoch: int) -> bool:
+        target = self.target_for(tenant)
+        return (
+            self.epoch_p99(tenant, epoch) <= target.p99_us
+            and self._lost.get((tenant, epoch), 0) <= target.max_lost
+        )
+
+    def attainment_series(self, tenant) -> List[Tuple[int, bool]]:
+        """(epoch, attained) for every epoch the tenant saw traffic."""
+        return [
+            (epoch, self.epoch_attained(tenant, epoch))
+            for epoch in self.epochs_of(tenant)
+        ]
+
+    def attainment(self, tenant) -> float:
+        """Fraction of trafficked epochs meeting the SLO (1.0 when the
+        tenant never demand-faulted at all — no evidence of violation)."""
+        series = self.attainment_series(tenant)
+        if not series:
+            return 1.0
+        return sum(1 for _, ok in series if ok) / len(series)
+
+    def lost_pages(self, tenant) -> int:
+        return sum(n for (t, _), n in self._lost.items() if t == tenant)
+
+    def overall_p99(self, tenant) -> float:
+        merged = Histogram()
+        for (t, _), hist in self._hists.items():
+            if t == tenant:
+                merged.merge(hist)
+        return merged.quantile(0.99)
+
+    # -- export -----------------------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """JSON-serializable per-tenant summary (sorted for stability)."""
+        tenants = sorted(
+            {t for (t, _) in self._hists} | set(self.faults_by_tenant),
+            key=str,
+        )
+        per_tenant = {}
+        for tenant in tenants:
+            series = self.attainment_series(tenant)
+            target = self.target_for(tenant)
+            per_tenant[str(tenant)] = {
+                "target_p99_us": target.p99_us,
+                "max_lost": target.max_lost,
+                "faults": self.faults_by_tenant.get(tenant, 0),
+                "lost_pages": self.lost_pages(tenant),
+                "epochs": len(series),
+                "epochs_attained": sum(1 for _, ok in series if ok),
+                "attainment": self.attainment(tenant),
+                "p99_us": self.overall_p99(tenant),
+                "series": [[epoch, bool(ok)] for epoch, ok in series],
+            }
+        return {
+            "epoch_us": self.epoch_us,
+            "events": self.events_seen,
+            "tenants": per_tenant,
+        }

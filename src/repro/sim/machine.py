@@ -44,7 +44,7 @@ from repro.common.constants import (
 )
 from repro.common.types import FaultBreakdown
 from repro.hopp.system import HoppDataPlane
-from repro.kernel.cgroup import CgroupManager, MemoryCgroup
+from repro.kernel.cgroup import CgroupManager, CgroupOverLimitError, MemoryCgroup
 from repro.kernel.frames import FrameAllocator
 from repro.kernel.page_table import PageTable, Pte, PteState
 from repro.kernel.reclaim import LruPageList, Reclaimer
@@ -125,6 +125,18 @@ class MachineConfig:
     #: event bus exists, every probe site is one ``is not None`` check
     #: on the cold path, and run output stays byte-identical.
     telemetry: Optional[TelemetryConfig] = None
+    #: Refuse prefetch charges that would cross the cgroup limit
+    #: (``charge(strict=True)``) instead of charging over the limit and
+    #: reclaiming later.  The scenario engine's multi-tenant isolation
+    #: mode: one tenant's prefetch burst cannot burst its budget.
+    strict_cgroup_prefetch: bool = False
+    #: Absorb :class:`RemoteFetchFatalError` instead of propagating it:
+    #: a demand fault whose retry budget is exhausted resolves with a
+    #: zero-filled frame, and a reclaim writeback that cannot complete
+    #: abandons the eviction and keeps the page resident.  This is the
+    #: scenario engine's never-crash guarantee — availability over
+    #: consistency, every absorption counted.
+    absorb_fatal_faults: bool = False
 
 
 class Machine:
@@ -202,6 +214,14 @@ class Machine:
         #: Pending prefetch arrivals: (arrival_us, seq, pid, vpn).
         self._arrivals: List[Tuple[float, int, int, int]] = []
         self._arrival_seq = 0
+        #: Scenario admission gate: a callable ``(pid, tier, now_us) ->
+        #: bool`` consulted before any prefetch issues; None (default)
+        #: admits everything with a single ``is not None`` check.
+        self.prefetch_admission = None
+        #: PIDs whose demand reads ride the bulk QP instead of the
+        #: priority lane — the degradation ladder's deepest rung: a
+        #: degraded best-effort tenant queues behind prefetch traffic.
+        self.deprioritized_pids: set = set()
 
         # Counters surfaced to RunResult.
         self.accesses = 0
@@ -230,6 +250,19 @@ class Machine:
         #: Swapcache pages whose remote copy was lost but whose local
         #: copy survived: re-written back instead of clean-dropped.
         self.pages_salvaged = 0
+        # Overload-shedding counters (all exactly 0 unless a scenario
+        # engine installs its hooks or enables the strict/absorb modes).
+        #: Prefetches refused by the admission gate (load shedding).
+        self.prefetch_throttled = 0
+        #: Prefetches refused because the strict cgroup charge would
+        #: cross the tenant's budget.
+        self.prefetch_overlimit_rejects = 0
+        #: Demand faults resolved with a zero-filled frame after the
+        #: retry budget died (``absorb_fatal_faults``).
+        self.fatal_faults_absorbed = 0
+        #: Evictions abandoned because the writeback could not complete;
+        #: the page stayed resident (``absorb_fatal_faults``).
+        self.writebacks_abandoned = 0
 
         if hopp is not None:
             self.controller.add_tap(hopp.on_mc_access)
@@ -557,7 +590,9 @@ class Machine:
             zero_filled = True
         elif self.faults is None:
             node = self.cluster.primary_node(slot)
-            completion = node.fabric.read_page(self.now_us, priority=True)
+            completion = node.fabric.read_page(
+                self.now_us, priority=pid not in self.deprioritized_pids
+            )
             rdma_wait = completion - self.now_us
         else:
             try:
@@ -567,6 +602,16 @@ class Machine:
                 # the detection latency is paid, then zero-fill.
                 rdma_wait = gone.waited_us
                 self.pages_zero_filled += 1
+                zero_filled = True
+            except RemoteFetchFatalError as fatal:
+                if not self.config.absorb_fatal_faults:
+                    raise
+                # Availability over consistency: the retry budget is
+                # spent, so resolve the fault with a zero-filled frame
+                # rather than crash the tenant.  The (possibly live)
+                # remote copy is released below with the slot.
+                rdma_wait = fatal.waited_us
+                self.fatal_faults_absorbed += 1
                 zero_filled = True
         table.map_page(vpn, ppn)
         self._release_remote_copy(pid, vpn, slot)
@@ -629,11 +674,12 @@ class Machine:
             else [self.cluster.nodes[0]]
         )
         target = 0
+        prio = pid not in self.deprioritized_pids
         while True:
             node = candidates[target % len(candidates)]
             t = self.now_us + waited
             try:
-                completion = node.fabric.read_page(t, priority=True)
+                completion = node.fabric.read_page(t, priority=prio)
                 if slot is not None and slot >= 0:
                     node.remote.read(slot, now_us=t)
                 stall = node.injector.remote_delay_us(t)
@@ -656,7 +702,10 @@ class Machine:
                             pid, vpn, slot, waited_us=waited + fault.wasted_us
                         ) from fault
                 if attempts > self.config.demand_retry_limit:
-                    raise RemoteFetchFatalError(pid, vpn, attempts) from fault
+                    raise RemoteFetchFatalError(
+                        pid, vpn, attempts,
+                        waited_us=waited + fault.wasted_us,
+                    ) from fault
                 self.retries += 1
                 if self.telemetry is not None:
                     self.telemetry.bus.emit(
@@ -699,9 +748,24 @@ class Machine:
             # Every replica died; nothing remote to fetch — the demand
             # path will zero-fill on first touch.
             return None
-        self._ensure_headroom(pid)
+        if self.prefetch_admission is not None and not self.prefetch_admission(
+            pid, tier, now_us
+        ):
+            self.prefetch_throttled += 1
+            return None
         cgroup = self._cgroup_of[pid]
-        cgroup.charge(1, prefetch=True)
+        if self.config.strict_cgroup_prefetch and cgroup.charge_prefetch:
+            # Strict mode: a prefetch must fit the budget's *existing*
+            # headroom — it never reclaims resident pages to make room
+            # for itself.  Refuse before any fabric traffic.
+            try:
+                cgroup.charge(1, prefetch=True, strict=True)
+            except CgroupOverLimitError:
+                self.prefetch_overlimit_rejects += 1
+                return None
+        else:
+            self._ensure_headroom(pid)
+            cgroup.charge(1, prefetch=True)
         self._resident[cgroup.name] += 1
         pte.ppn = self.frames.allocate(pid, vpn)
         node = self._node_for_page(pte)
@@ -774,6 +838,11 @@ class Machine:
         ]
         if not fetchable:
             return None
+        if self.prefetch_admission is not None and not self.prefetch_admission(
+            pid, tier, now_us
+        ):
+            self.prefetch_throttled += len(fetchable)
+            return None
         # One scatter-gather request per node holding pages of the range
         # (pages interleaved across nodes fragment the batch; affinity
         # placement keeps it whole).  Node order is first appearance in
@@ -813,9 +882,24 @@ class Machine:
                     bus.emit(EV_PREFETCH_DROP, now_us, tier=tier, n=count)
                 continue
             emit = self.telemetry.bus.emit if self.telemetry is not None else None
+            strict = self.config.strict_cgroup_prefetch and cgroup.charge_prefetch
+            landed = 0
             for vpn, arrival in zip(vpns, arrivals):
-                self._ensure_headroom(pid)
-                cgroup.charge(1, prefetch=True)
+                if strict:
+                    # Strict mode: the page lands only if it fits the
+                    # budget's existing headroom — prefetch never
+                    # reclaims resident pages to make room for itself.
+                    # The batch transfer already happened, but nothing
+                    # was allocated or charged for a refused page, so
+                    # every counter still conserves.
+                    try:
+                        cgroup.charge(1, prefetch=True, strict=True)
+                    except CgroupOverLimitError:
+                        self.prefetch_overlimit_rejects += 1
+                        continue
+                else:
+                    self._ensure_headroom(pid)
+                    cgroup.charge(1, prefetch=True)
                 self._resident[cgroup.name] += 1
                 pte = table.entry(vpn)
                 pte.ppn = self.frames.allocate(pid, vpn)
@@ -826,15 +910,16 @@ class Machine:
                 pte.injected = inject_pte
                 self._arrival_seq += 1
                 heapq.heappush(self._arrivals, (arrival, self._arrival_seq, pid, vpn))
+                landed += 1
                 if emit is not None:
                     emit(
                         EV_PREFETCH_ISSUE, now_us,
                         pid=pid, vpn=vpn, tier=tier, arrival_us=arrival,
                     )
             self._note_peak()
-            self.prefetch_issued += len(vpns)
-            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + len(vpns)
-            if last_arrival is None or arrivals[-1] > last_arrival:
+            self.prefetch_issued += landed
+            self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + landed
+            if landed and (last_arrival is None or arrivals[-1] > last_arrival):
                 last_arrival = arrivals[-1]
         return last_arrival
 
@@ -942,7 +1027,23 @@ class Machine:
                 # recoverable crash into data loss).
                 self._release_remote_copy(pid, vpn)
                 slot = self.swap_space.allocate(pid, vpn)
-                self._writeback_resilient(slot, pid, vpn)
+                try:
+                    self._writeback_resilient(slot, pid, vpn)
+                except RemoteFetchFatalError:
+                    if not self.config.absorb_fatal_faults:
+                        raise
+                    # The salvage writeback burned its retry budget and
+                    # this frame is the page's last copy: keep it.  The
+                    # page promotes to PRESENT (it already left the
+                    # swapcache above) and rejoins the LRU; any replica
+                    # already written goes with the abandoned slot.
+                    self.cluster.release(slot)
+                    self.swap_space.free(slot)
+                    pte.swap_slot = -1
+                    table.map_page(vpn, pte.ppn)
+                    lru.insert(pid, vpn)
+                    self.writebacks_abandoned += 1
+                    return 0
                 pte.swap_slot = slot
                 self.pages_salvaged += 1
                 clean = 0
@@ -966,7 +1067,22 @@ class Machine:
                     if index:
                         self.cluster.replica_writes += 1
             else:
-                self._writeback_resilient(slot, pid, vpn)
+                try:
+                    self._writeback_resilient(slot, pid, vpn)
+                except RemoteFetchFatalError:
+                    if not self.config.absorb_fatal_faults:
+                        raise
+                    # The writeback burned its whole retry budget:
+                    # abandon the eviction instead of losing the page.
+                    # Replicas already written are released with the
+                    # slot, the frame stays mapped, and the page goes
+                    # back on the LRU for a later attempt.
+                    self.cluster.release(slot)
+                    self.swap_space.free(slot)
+                    table.map_page(vpn, ppn)
+                    lru.insert(pid, vpn)
+                    self.writebacks_abandoned += 1
+                    return 0
             pte.swap_slot = slot
             self.frames.free(ppn)
             pte.ppn = -1
@@ -1033,7 +1149,10 @@ class Machine:
                         self.health.observe_timeout(node.node_id, t)
                     )
                 if attempts > self.config.demand_retry_limit:
-                    raise RemoteFetchFatalError(pid, vpn, attempts) from fault
+                    raise RemoteFetchFatalError(
+                        pid, vpn, attempts,
+                        waited_us=waited + fault.wasted_us,
+                    ) from fault
                 self.retries += 1
                 if self.telemetry is not None:
                     self.telemetry.bus.emit(
@@ -1108,9 +1227,17 @@ class Machine:
         for _ in range(4):
             events = self.health.tick(self.now_us, force=True)
             self._apply_health_events(events)
-            if not events and self.repair.idle:
-                break
+            # Flush before judging quiescence: an already-empty DRAINING
+            # node has no evacuate tasks, so the queue alone looks idle
+            # while the drain still needs its completion check.
+            before = self.health.states_snapshot()
             self.repair.flush(self.now_us)
+            if (
+                not events
+                and self.repair.idle
+                and self.health.states_snapshot() == before
+            ):
+                break
         if self.sanitizer is not None:
             self._sanitize_after_recovery = False
             self.sanitizer.check()

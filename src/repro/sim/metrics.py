@@ -122,6 +122,11 @@ class RunResult:
     #: Telemetry export (None when telemetry was disabled — the key is
     #: then absent from to_dict output, keeping goldens byte-identical).
     telemetry: Optional[Dict[str, object]] = None
+    #: Tenant-scale scenario section (admission ladder, SLO attainment,
+    #: autoscaler timeline) attached by :mod:`repro.scenario`; None for
+    #: every non-scenario run — the key is then absent from to_dict
+    #: output, keeping goldens byte-identical.
+    scenario: Optional[Dict[str, object]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -277,6 +282,8 @@ class RunResult:
             }
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
         if full:
             out["machine"] = {
                 "compute_us": self.compute_us,
@@ -403,6 +410,7 @@ class RunResult:
             prefetch_rejected=machine.get("prefetch_rejected", 0),
             fabric_drop_signals=machine.get("fabric_drop_signals", 0),
             telemetry=data.get("telemetry"),
+            scenario=data.get("scenario"),
             extra=dict(data.get("extra", {})),
         )
         return result

@@ -232,6 +232,17 @@ _HELP = {
     "repro_completion_time_us": "Simulated completion time",
     "repro_coverage_ratio": "Prefetch coverage (paper metric)",
     "repro_accuracy_ratio": "Prefetch accuracy over delivered pages",
+    "repro_node_crashes_total": "Remote node crashes observed",
+    "repro_node_rejoins_total": "Remote node rejoins observed",
+    "repro_pages_repaired_total": "Pages re-replicated by the repair engine",
+    "repro_pages_lost_total": "Pages with no surviving replica",
+    "repro_pages_zero_filled_total": "Demand faults resolved by zero-fill",
+    "repro_pages_salvaged_total": "Lost pages recovered from the swapcache",
+    "repro_pages_drained_total": "Pages evacuated by graceful drains",
+    "repro_repair_reads_total": "Fabric READs issued by repair traffic",
+    "repro_repair_writes_total": "Fabric WRITEs issued by repair traffic",
+    "repro_repair_bytes_total": "Bytes moved by repair traffic",
+    "repro_repair_retries_total": "Repair transfers retried",
 }
 
 
@@ -289,6 +300,21 @@ def prometheus_snapshot(result) -> str:
     put("repro_completion_time_us", result.completion_time_us)
     put("repro_coverage_ratio", result.coverage)
     put("repro_accuracy_ratio", result.accuracy)
+
+    # Recovery-section counters.  These fields default to 0 on runs
+    # without an armed fault plan, so the families are always present
+    # and dashboards never have to handle a missing series.
+    put("repro_node_crashes_total", result.node_crashes)
+    put("repro_node_rejoins_total", result.node_rejoins)
+    put("repro_pages_repaired_total", result.pages_repaired)
+    put("repro_pages_lost_total", result.pages_lost)
+    put("repro_pages_zero_filled_total", result.pages_zero_filled)
+    put("repro_pages_salvaged_total", result.pages_salvaged)
+    put("repro_pages_drained_total", result.pages_drained)
+    put("repro_repair_reads_total", result.repair_reads)
+    put("repro_repair_writes_total", result.repair_writes)
+    put("repro_repair_bytes_total", result.repair_bytes)
+    put("repro_repair_retries_total", result.repair_retries)
 
     telemetry = getattr(result, "telemetry", None) or {}
     for entry in telemetry.get("node_metrics", ()):

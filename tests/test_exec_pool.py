@@ -91,6 +91,40 @@ class TestExecute:
         assert engine_ct == runner.local_completion_time(workload, quiet_fabric(3))
 
 
+class TestWorkerClamp:
+    def test_jobs_clamped_to_cpu_count_with_warning(self, monkeypatch, caplog):
+        import logging
+
+        import repro.exec.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+        specs = grid()
+        with caplog.at_level(logging.WARNING, logger="repro.exec.pool"):
+            clamped = execute(specs, jobs=8)
+        assert any("clamping jobs=8 to 1" in rec.getMessage()
+                   for rec in caplog.records)
+        # Clamping changes worker count, never results.
+        assert dicts(clamped) == dicts(execute(specs, jobs=1))
+
+    def test_jobs_within_cpu_count_does_not_warn(self, monkeypatch, caplog):
+        import logging
+
+        import repro.exec.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 64)
+        specs = grid()
+        with caplog.at_level(logging.WARNING, logger="repro.exec.pool"):
+            execute(specs, jobs=2)
+        assert not caplog.records
+
+    def test_cpu_count_none_falls_back_to_one_worker(self, monkeypatch):
+        import repro.exec.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: None)
+        specs = grid()
+        assert dicts(execute(specs, jobs=4)) == dicts(execute(specs, jobs=1))
+
+
 class TestTelemetryOnPool:
     def telemetry_grid(self, **telemetry_kwargs):
         specs = grid()

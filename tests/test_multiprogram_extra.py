@@ -70,3 +70,72 @@ class TestCorun:
         # Each instance first-touches its own copy of every page.
         assert result.minor_faults == 200
         assert PID_STRIDE >= 100
+
+
+class TestStrictPrefetchCharging:
+    """End-to-end: strict cgroup charging under a multiprogram co-run.
+
+    With ``charge_prefetch=True`` (the HoPP accounting model) and
+    ``strict_cgroup_prefetch=True`` (the scenario engine's isolation
+    mode), a prefetch that would cross its tenant's budget must be
+    refused via :class:`CgroupOverLimitError` — counted, never leaked,
+    and with page accounting still conserved afterwards.
+    """
+
+    def _corun_machine(self, strict: bool):
+        from repro.sim import systems
+        from repro.sim.machine import MachineConfig
+        from repro.sim.multiprogram import (
+            build_corun_machine,
+            interleave_traces,
+        )
+
+        apps = [
+            build("kv-cache", seed=s, objects=120, operations=1200)
+            for s in (1, 2)
+        ]
+        config = MachineConfig(
+            local_memory_pages=sum(a.footprint_pages for a in apps),
+            fabric=quiet_fabric(),
+            compute_us_per_access=0.3,
+            strict_cgroup_prefetch=strict,
+            check_invariants=True,
+        )
+        machine, traces = build_corun_machine(
+            apps, systems.build("hopp"), 0.3, config
+        )
+        machine.run(interleave_traces(traces, random.Random(5)))
+        return machine
+
+    def test_overlimit_prefetches_rejected_and_counted(self):
+        machine = self._corun_machine(strict=True)
+        assert machine.prefetch_overlimit_rejects > 0
+        # The machine counter is exactly the sum of the per-cgroup
+        # strict-reject counters: every refusal is attributed.
+        assert machine.prefetch_overlimit_rejects == sum(
+            group.overlimit_rejects for group in machine.cgroups
+        )
+        # Every cgroup respected the accounting identity: prefetch
+        # charging never pushed it past its limit.
+        for group in machine.cgroups:
+            assert group.charged >= 0
+
+    def test_accounting_conserved_after_rejections(self):
+        machine = self._corun_machine(strict=True)
+        machine.sanitizer.check()  # raises InvariantViolation on drift
+        assert machine.cluster.conserved()
+
+    def test_default_mode_charges_over_limit_instead(self):
+        machine = self._corun_machine(strict=False)
+        assert machine.prefetch_overlimit_rejects == 0
+        assert all(g.overlimit_rejects == 0 for g in machine.cgroups)
+
+    def test_run_corun_exposes_the_strict_knob(self):
+        apps = [
+            build("kv-cache", seed=s, objects=100, operations=800)
+            for s in (1, 2)
+        ]
+        result = run_corun(
+            apps, "hopp", 0.3, quiet_fabric(), strict_cgroup_prefetch=True
+        )
+        assert result.accesses > 0

@@ -332,6 +332,40 @@ class TestPrometheus:
         assert "repro_fabric_reads_total{" in text
         assert "repro_remote_pages_stored{" in text
 
+    def test_recovery_counter_families_always_present(self):
+        # Recovery counters default to 0 without an armed fault plan, so
+        # the _total families must appear in every snapshot — dashboards
+        # can rate() them without guarding against absent series.
+        recovery = (
+            "repro_node_crashes_total",
+            "repro_node_rejoins_total",
+            "repro_pages_repaired_total",
+            "repro_pages_lost_total",
+            "repro_pages_zero_filled_total",
+            "repro_pages_salvaged_total",
+            "repro_pages_drained_total",
+            "repro_repair_reads_total",
+            "repro_repair_writes_total",
+            "repro_repair_bytes_total",
+            "repro_repair_retries_total",
+        )
+        for case in ("prefetch", "crash"):
+            _, enabled = run_pair(case)
+            text = prometheus_snapshot(enabled)
+            for family in recovery:
+                assert f"# TYPE {family} counter" in text, (case, family)
+                assert f"\n{family}{{" in text, (case, family)
+
+    def test_recovery_counters_nonzero_after_crash(self):
+        _, enabled = run_pair("crash")
+        samples = {}
+        for line in prometheus_snapshot(enabled).splitlines():
+            if line and not line.startswith("#"):
+                name_labels, value = line.split()
+                samples[name_labels.split("{")[0]] = float(value)
+        assert samples["repro_node_crashes_total"] > 0
+        assert samples["repro_pages_repaired_total"] > 0
+
     def test_works_on_deserialized_result(self):
         _, enabled = run_pair("crash")
         revived = RunResult.from_dict(enabled.to_dict(full=True))
