@@ -133,10 +133,32 @@ def _build_parser() -> argparse.ArgumentParser:
             help="copies per page (R > 1 enables demand-read failover)",
         )
 
+    def add_memtier_args(p):
+        p.add_argument(
+            "--mem-tiers", type=int, default=0, metavar="P",
+            help="arm the CXL-style memory-tier pool with P pooled "
+                 "nodes in front of the --remote-nodes far (RDMA) "
+                 "nodes; 0 (default) keeps the untiered legacy model "
+                 "byte-identical",
+        )
+        p.add_argument(
+            "--cxl-latency-us", type=float, default=None, metavar="US",
+            help="per-page latency of the pooled tier's link (default: "
+                 "8x the DRAM hit, 5x under the RDMA page read — the "
+                 "NUMA-emulation ratio methodology)",
+        )
+        p.add_argument(
+            "--pool-capacity", type=int, default=None, metavar="PAGES",
+            help="capacity of each pooled node in pages (default: "
+                 "match the far nodes); small pools exercise "
+                 "watermark demotion",
+        )
+
     run_parser = sub.add_parser("run", help="run one workload/system pair")
     add_run_args(run_parser)
     add_fault_args(run_parser)
     add_cluster_args(run_parser)
+    add_memtier_args(run_parser)
     add_cache_args(run_parser)
     add_telemetry_args(run_parser)
     run_parser.add_argument("--system", "-s", default="hopp")
@@ -152,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_run_args(compare_parser)
     add_fault_args(compare_parser)
     add_cluster_args(compare_parser)
+    add_memtier_args(compare_parser)
     add_cache_args(compare_parser)
     add_jobs_arg(compare_parser)
     compare_parser.add_argument(
@@ -288,6 +311,45 @@ def _cluster_config(args) -> ClusterConfig:
     )
 
 
+def _memtier_config(args):
+    """The MemtierConfig selected by --mem-tiers/--cxl-latency-us/
+    --pool-capacity, or None (tiering off) when --mem-tiers is 0."""
+    pool_nodes = getattr(args, "mem_tiers", 0)
+    if not pool_nodes:
+        return None
+    from repro.memtier import MemtierConfig
+
+    kwargs = {"pool_nodes": pool_nodes}
+    if args.cxl_latency_us is not None:
+        kwargs["cxl_latency_us"] = args.cxl_latency_us
+    if args.pool_capacity is not None:
+        kwargs["pool_capacity_pages"] = args.pool_capacity
+    return MemtierConfig(**kwargs)
+
+
+def _memtier_rows(result) -> List[List[object]]:
+    """Summary rows for the memory-tier section, empty when tiering
+    was off."""
+    section = getattr(result, "memtier", None)
+    if not section:
+        return []
+    return [
+        ["memory tiers (pool + far nodes)",
+         f"{section['pool_nodes']} + {section['far_nodes']}"],
+        ["tier demand reads (pool/far)",
+         f"{section['pool_demand_reads']}/{section['far_demand_reads']}"],
+        ["tier prefetch reads (pool/far)",
+         f"{section['pool_prefetch_reads']}/"
+         f"{section['far_prefetch_reads']}"],
+        ["tier writebacks (pool/far)",
+         f"{section['pool_writebacks']}/{section['far_writebacks']}"],
+        ["pages promoted / demoted",
+         f"{section['promotions']}/{section['demotions']}"],
+        ["migration traffic (bytes)", section["migration_bytes"]],
+        ["pool pages stored", section["pool_pages_stored"]],
+    ]
+
+
 def _telemetry_config(args) -> Optional[TelemetryConfig]:
     """The TelemetryConfig selected by --telemetry/--trace-out/--prom-out,
     or None (the probe-free null-object) when no flag asked for it."""
@@ -378,6 +440,7 @@ def _cmd_run(args) -> int:
         cluster=cluster,
         check_invariants=args.check_invariants,
         telemetry=_telemetry_config(args),
+        memtier=_memtier_config(args),
     )
     ct_local = execute(
         [local_ct_spec(args.workload, args.seed, fabric)], cache=cache
@@ -456,6 +519,7 @@ def _cmd_run(args) -> int:
         ]
     if result.invariant_checks:
         rows.append(["invariant checks passed", result.invariant_checks])
+    rows += _memtier_rows(result)
     rows += _write_telemetry_artifacts(args, result)
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
@@ -472,6 +536,7 @@ def _cmd_compare(args) -> int:
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     cluster = _cluster_config(args)
+    memtier = _memtier_config(args)
     cache = _make_cache(args)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
     # CT_local first (always fault-free, single-node: it is the
@@ -487,6 +552,7 @@ def _cmd_compare(args) -> int:
             fault_plan=fault_plan,
             cluster=cluster,
             check_invariants=args.check_invariants,
+            memtier=memtier,
         )
         for name in names
     ]

@@ -82,12 +82,19 @@ class ClusterConfig:
     ``replication``             copies per page (1 = no replicas).
     ``capacity_pages_per_node`` override; default splits the machine's
                                 total remote capacity evenly.
+    ``node_tiers``              optional per-node *memory-tier* labels
+                                ("pool" = pooled CXL tier, "far" = RDMA
+                                far tier; see :mod:`repro.memtier` —
+                                not the HoPP SSP/LSP/RSP prefetch
+                                tiers).  None (the default) is the
+                                untiered legacy cluster.
     """
 
     nodes: int = 1
     placement: str = "interleave"
     replication: int = 1
     capacity_pages_per_node: Optional[int] = None
+    node_tiers: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -102,6 +109,24 @@ class ClusterConfig:
             and self.capacity_pages_per_node < 1
         ):
             raise ValueError("capacity_pages_per_node must be >= 1")
+        if self.node_tiers is not None:
+            tiers = tuple(self.node_tiers)
+            object.__setattr__(self, "node_tiers", tiers)
+            if len(tiers) != self.nodes:
+                raise ValueError(
+                    f"node_tiers must label every node: got {len(tiers)} "
+                    f"labels for {self.nodes} nodes"
+                )
+            bad = sorted({t for t in tiers if t not in ("pool", "far")})
+            if bad:
+                raise ValueError(
+                    f"node_tiers entries must be 'pool' or 'far', got {bad}"
+                )
+            if "far" not in tiers:
+                raise ValueError(
+                    "node_tiers needs at least one 'far' node — demotion "
+                    "under pool pressure has nowhere to go without one"
+                )
         # Fail on typos at construction, not mid-run.
         build_placement(self.placement)
 
@@ -146,18 +171,24 @@ class ClusterNode:
         fabric: RdmaFabric,
         remote: RemoteMemoryNode,
         injector: Optional[FaultInjector] = None,
+        tier: Optional[str] = None,
     ) -> None:
         self.node_id = node_id
         self.fabric = fabric
         self.remote = remote
         self.injector = injector
+        #: Memory-tier label ("pool"/"far"); None on untiered clusters.
+        self.tier = tier
 
     def stats_snapshot(self) -> Dict[str, object]:
-        return {
+        snap = {
             "node": self.node_id,
             "fabric": self.fabric.stats_snapshot(),
             "remote": self.remote.stats_snapshot(),
         }
+        if self.tier is not None:
+            snap["tier"] = self.tier
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -175,12 +206,46 @@ class RemoteMemoryCluster:
         total_capacity_pages: int,
         fabric_config: Optional[FabricConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        memtier=None,
     ) -> None:
         self.config = config
         base = fabric_config or FabricConfig()
-        per_node = config.capacity_pages_per_node or max(
-            int(math.ceil(total_capacity_pages / config.nodes)), 1
-        )
+        tiers = config.node_tiers
+        if tiers is not None and memtier is None:
+            # Tier labels without explicit parameters: derive the pool
+            # link/capacity from the defaults.
+            from repro.memtier.tiers import MemtierConfig
+
+            memtier = MemtierConfig()
+        #: The memory-tier parameters (None on untiered clusters); the
+        #: ``tiered`` placement reads the pool watermark from here.
+        self.memtier_config = memtier if tiers is not None else None
+        if tiers is None:
+            per_node = config.capacity_pages_per_node or max(
+                int(math.ceil(total_capacity_pages / config.nodes)), 1
+            )
+            capacity_of = [per_node] * config.nodes
+            fabric_of = [base] * config.nodes
+            tier_of = [None] * config.nodes
+        else:
+            # The far tier splits the machine's remote capacity (it is
+            # the backing store); pool nodes take their own capacity and
+            # sit behind a CXL-class link derived by the ratio method.
+            far_count = sum(1 for t in tiers if t == "far")
+            far_share = config.capacity_pages_per_node or max(
+                int(math.ceil(total_capacity_pages / far_count)), 1
+            )
+            pool_share = (
+                config.capacity_pages_per_node
+                or memtier.pool_capacity_pages
+                or far_share
+            )
+            cxl = memtier.cxl_fabric_config(base)
+            capacity_of = [
+                pool_share if t == "pool" else far_share for t in tiers
+            ]
+            fabric_of = [cxl if t == "pool" else base for t in tiers]
+            tier_of = list(tiers)
         armed = fault_plan is not None and not fault_plan.is_empty
         self.nodes: List[ClusterNode] = []
         for node_id in range(config.nodes):
@@ -189,11 +254,20 @@ class RemoteMemoryCluster:
                 if armed
                 else None
             )
+            link = fabric_of[node_id]
             fabric = RdmaFabric(
-                replace(base, seed=base.seed + node_id), injector=injector
+                replace(link, seed=link.seed + node_id), injector=injector
             )
-            remote = RemoteMemoryNode(per_node, injector=injector)
-            self.nodes.append(ClusterNode(node_id, fabric, remote, injector))
+            remote = RemoteMemoryNode(
+                capacity_of[node_id], injector=injector, tier=tier_of[node_id]
+            )
+            self.nodes.append(
+                ClusterNode(node_id, fabric, remote, injector, tier=tier_of[node_id])
+            )
+        #: Hotness oracle ``(pid, vpn) -> bool`` installed by the
+        #: machine's migration engine; the ``tiered`` placement consults
+        #: it.  None (untiered, or tiering disabled) means nothing hot.
+        self.memtier_hot = None
         self.placement: PlacementPolicy = build_placement(config.placement)
         #: slot -> node ids holding a copy, primary first.
         self._holders: Dict[int, List[int]] = {}
@@ -216,6 +290,11 @@ class RemoteMemoryCluster:
     @property
     def node_count(self) -> int:
         return len(self.nodes)
+
+    @property
+    def node_tiers(self) -> Optional[Tuple[str, ...]]:
+        """Per-node memory-tier labels (None on untiered clusters)."""
+        return self.config.node_tiers
 
     def node_load(self, node_id: int) -> int:
         """Pages currently stored on ``node_id`` (placement input)."""
@@ -336,6 +415,19 @@ class RemoteMemoryCluster:
         elif node_id not in holders:
             holders.append(node_id)
 
+    def migrate_holder(self, slot: int, from_id: int, to_id: int) -> bool:
+        """The migration engine moved ``slot``'s copy from ``from_id``
+        to ``to_id``: swap the holder in place (a migrated primary stays
+        primary).  Returns False — and changes nothing — when the entry
+        moved under the engine or the target already holds a replica."""
+        holders = self._holders.get(slot)
+        if holders is None or from_id not in holders or to_id in holders:
+            return False
+        self._holders[slot] = [
+            to_id if node_id == from_id else node_id for node_id in holders
+        ]
+        return True
+
     def mark_lost(self, slot: int) -> None:
         """Every copy of ``slot`` died; remember it for zero-fill."""
         self._holders.pop(slot, None)
@@ -371,7 +463,7 @@ class RemoteMemoryCluster:
         return all(node.remote.conserved for node in self.nodes)
 
     def stats_snapshot(self) -> Dict[str, object]:
-        return {
+        snap = {
             "nodes": self.node_count,
             "placement": self.placement.name,
             "replication": self.config.replication,
@@ -382,6 +474,9 @@ class RemoteMemoryCluster:
             "lost_slots": len(self._lost_slots),
             "per_node": [node.stats_snapshot() for node in self.nodes],
         }
+        if self.config.node_tiers is not None:
+            snap["node_tiers"] = list(self.config.node_tiers)
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

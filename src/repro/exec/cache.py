@@ -39,7 +39,9 @@ from repro.workloads import registry as workload_registry
 #: to simulator semantics, RunResult fields, or key composition.
 #: v2: telemetry subsystem — RunSpec gained the ``telemetry`` key and
 #: RunResult's full wire format gained the ``machine`` counter section.
-SCHEMA_VERSION = 2
+#: v3: memory tiers — RunSpec gained the ``memtier`` key dimension and
+#: RunResult's wire format gained the optional ``memtier`` section.
+SCHEMA_VERSION = 3
 
 
 def canonical_json(payload: Dict[str, object]) -> str:

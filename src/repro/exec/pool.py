@@ -50,6 +50,7 @@ def run_spec(spec: RunSpec, trace_cache: Optional[TraceCache] = None) -> RunResu
         check_invariants=spec.check_invariants,
         trace=trace,
         telemetry=spec.telemetry,
+        memtier=spec.memtier,
     )
 
 

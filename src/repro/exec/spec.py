@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 from repro.cluster.cluster import ClusterConfig
+from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.telemetry import TelemetryConfig
@@ -35,6 +36,7 @@ RUNNER_KWARGS_COVERED = frozenset(
         "check_invariants",
         "trace",  # engine-internal; see module docstring
         "telemetry",
+        "memtier",
     }
 )
 
@@ -58,6 +60,7 @@ class RunSpec:
     cluster: Optional[ClusterConfig] = None
     check_invariants: bool = False
     telemetry: Optional[TelemetryConfig] = None
+    memtier: Optional[MemtierConfig] = None
 
     def key_dict(self) -> Dict[str, object]:
         """Canonical, JSON-stable projection of every result-affecting
@@ -85,6 +88,11 @@ class RunSpec:
             "check_invariants": self.check_invariants,
             "telemetry": (
                 None if self.telemetry is None else asdict(self.telemetry)
+            ),
+            # memtier=None means tiering off, which is NOT the same run
+            # as any armed MemtierConfig (extra pool nodes, CXL link).
+            "memtier": (
+                None if self.memtier is None else asdict(self.memtier)
             ),
         }
 

@@ -139,6 +139,9 @@ class HoppDataPlane:
                 protect_pages=cfg.eviction_protect_pages
             )
         self.hot_pages_unresolved = 0
+        # Memory-tier bridge: on a tiered machine, HPD hotness doubles
+        # as the promotion signal (see repro.memtier) — None otherwise.
+        self._memtier = getattr(backend, "memtier", None)
 
     # -- the MC tap (step 1-4 of Figure 4) -------------------------------------------
 
@@ -151,6 +154,10 @@ class HoppDataPlane:
             # Frame not mapped by any process (kernel/DMA memory).
             self.hot_pages_unresolved += 1
             return
+        if self._memtier is not None:
+            # Hardware said this page is hot; the migration engine will
+            # promote its remote copy poolward if it sits in the far tier.
+            self._memtier.note_hot(entry.pid, entry.vpn, timestamp_us)
         observation = self.stt.feed(entry.pid, entry.vpn, timestamp_us)
         if observation is None:
             return

@@ -5,6 +5,11 @@ majority of patterns and are cheapest to identify), then LSP for ladder
 streams, then RSP as the last resort for ripples.  Each tier can be
 toggled off, which is how the Figure 18-20 tier-contribution study and
 the revamped-majority baseline are built.
+
+Vocabulary note: the "tiers" here are *prefetch-policy* tiers
+(SSP/LSP/RSP priority levels inside the trainer).  They are unrelated
+to the *memory* tiers of :mod:`repro.memtier` (local DRAM / pooled CXL
+/ RDMA far), whose identifiers always carry a ``memtier_`` prefix.
 """
 
 from __future__ import annotations

@@ -12,11 +12,20 @@ inside a remote-restart window raise
 slot leaks are visible: at any moment
 
     pages_written == pages_stored + pages_overwritten + pages_released
-                     + pages_lost
+                     + pages_lost + pages_migrated_out
 
 where ``pages_lost`` counts pages wiped by a permanent node crash
-(:meth:`RemoteMemoryNode.crash`) — the only way a written page can
-leave the store without being read back or released.
+(:meth:`RemoteMemoryNode.crash`) and ``pages_migrated_out`` counts
+pages moved to another node by the memory-tier migration engine
+(:meth:`RemoteMemoryNode.migrate_out` — exactly 0 unless the node
+belongs to a tiered cluster, see :mod:`repro.memtier`).  Those are the
+only ways a written page can leave the store without being read back
+or released.
+
+A node may carry a memory-tier label (``tier="pool"`` for the CXL
+pool, ``"far"`` for the RDMA far tier, None for the untiered legacy
+cluster); untiered snapshots omit the tier keys entirely so pre-tier
+goldens stay byte-identical.
 """
 
 from __future__ import annotations
@@ -35,17 +44,21 @@ class RemoteMemoryNode:
         self,
         capacity_pages: int,
         injector: Optional[FaultInjector] = None,
+        tier: Optional[str] = None,
     ) -> None:
         if capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1")
         self.capacity_pages = capacity_pages
         self.injector = injector
+        #: Memory-tier label ("pool"/"far"); None on untiered clusters.
+        self.tier = tier
         self._slots: Dict[int, Tuple[int, int]] = {}
         self.pages_written = 0
         self.pages_read = 0
         self.pages_overwritten = 0
         self.pages_released = 0
         self.pages_lost = 0
+        self.pages_migrated_out = 0
         self.crashes = 0
 
     def write(
@@ -76,6 +89,13 @@ class RemoteMemoryNode:
         if self._slots.pop(slot, None) is not None:
             self.pages_released += 1
 
+    def migrate_out(self, slot: int) -> None:
+        """The migration engine moved ``slot``'s copy to another node:
+        drop it here, conserved via ``pages_migrated_out`` (the target
+        node's ``write`` accounts for the new copy)."""
+        if self._slots.pop(slot, None) is not None:
+            self.pages_migrated_out += 1
+
     def crash(self) -> int:
         """The node died: every stored page is gone.  Returns how many
         pages were wiped; accounting stays conserved via ``pages_lost``."""
@@ -95,18 +115,20 @@ class RemoteMemoryNode:
     @property
     def conserved(self) -> bool:
         """The slot-conservation invariant: every written page is still
-        stored, was overwritten, was released, or died in a crash."""
+        stored, was overwritten, was released, died in a crash, or was
+        migrated to another tier's node."""
         return self.pages_written == (
             self.pages_stored
             + self.pages_overwritten
             + self.pages_released
             + self.pages_lost
+            + self.pages_migrated_out
         )
 
     def stats_snapshot(self) -> Dict[str, int]:
         """Public counter snapshot, for metrics aggregation and debugging
         (no caller should poke the private slot map)."""
-        return {
+        snap = {
             "capacity_pages": self.capacity_pages,
             "pages_stored": self.pages_stored,
             "pages_written": self.pages_written,
@@ -115,6 +137,12 @@ class RemoteMemoryNode:
             "pages_released": self.pages_released,
             "pages_lost": self.pages_lost,
         }
+        if self.tier is not None:
+            # Tier keys appear only on tiered clusters so the untiered
+            # snapshot (pinned by goldens_v1.json) is unchanged.
+            snap["tier"] = self.tier
+            snap["pages_migrated_out"] = self.pages_migrated_out
+        return snap
 
     def metrics_snapshot(self) -> Dict[str, int]:
         """Export-facing counter snapshot with the unified key naming
@@ -127,6 +155,7 @@ class RemoteMemoryNode:
             "pages_overwritten_total": self.pages_overwritten,
             "pages_released_total": self.pages_released,
             "pages_lost_total": self.pages_lost,
+            "pages_migrated_out_total": self.pages_migrated_out,
             "crashes_total": self.crashes,
             "pages_stored": self.pages_stored,
             "capacity_pages": self.capacity_pages,

@@ -11,7 +11,7 @@ the application through the shared fabric queue and the LRU lists.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import FaultTimePrefetcher
@@ -51,6 +51,7 @@ from repro.kernel.reclaim import LruPageList, Reclaimer
 from repro.kernel.swap import SwapCache, SwapSpace
 from repro.kernel.vma import VmaRegistry
 from repro.memsim.controller import MemoryController
+from repro.memtier import MemtierConfig, MigrationEngine, derive_node_tiers
 from repro.net.faults import (
     FaultInjector,
     FaultPlan,
@@ -137,6 +138,13 @@ class MachineConfig:
     #: scenario engine's never-crash guarantee — availability over
     #: consistency, every absorption counted.
     absorb_fatal_faults: bool = False
+    #: Memory-tier pool (pooled CXL nodes + hotness-driven migration,
+    #: :mod:`repro.memtier`).  None (the default) builds no engine and
+    #: keeps every run byte-identical to the untiered simulator.  When
+    #: set and ``cluster.node_tiers`` is unset, ``pool_nodes`` pooled
+    #: nodes are added in front of the configured (far) nodes and an
+    #: ``interleave`` placement upgrades to ``tiered``.
+    memtier: Optional[MemtierConfig] = None
 
 
 class Machine:
@@ -154,11 +162,30 @@ class Machine:
         self.now_us = 0.0
 
         plan = config.fault_plan
+        cluster_config = config.cluster
+        if config.memtier is not None and cluster_config.node_tiers is None:
+            # Tiering armed on an untiered topology: put the pooled CXL
+            # nodes in front of the configured (far) nodes, and let a
+            # default interleave placement upgrade to the tier-aware
+            # policy (an explicitly chosen placement is respected).
+            cluster_config = replace(
+                cluster_config,
+                nodes=cluster_config.nodes + config.memtier.pool_nodes,
+                node_tiers=derive_node_tiers(
+                    cluster_config.nodes, config.memtier.pool_nodes
+                ),
+                placement=(
+                    "tiered"
+                    if cluster_config.placement == "interleave"
+                    else cluster_config.placement
+                ),
+            )
         self.cluster = RemoteMemoryCluster(
-            config.cluster,
+            cluster_config,
             config.remote_capacity_pages,
             config.fabric,
             fault_plan=plan,
+            memtier=config.memtier,
         )
         #: Node 0's injector doubles as the "is fault injection armed"
         #: flag: every node arms iff the plan is non-empty, and on the
@@ -180,6 +207,15 @@ class Machine:
             self.repair = RepairEngine(
                 self.cluster, self.health, self.swap_space, config.repair
             )
+        #: Memory-tier migration engine; armed only with a memtier
+        #: config, and pumped only from remote-event paths so the
+        #: resident-hit fast path never sees it.
+        self.memtier: Optional[MigrationEngine] = None
+        if config.memtier is not None:
+            self.memtier = MigrationEngine(
+                self.cluster, self.swap_space, config.memtier
+            )
+            self.cluster.memtier_hot = self.memtier.is_hot
         #: Telemetry, armed only on request.  Probes are observers: they
         #: never touch RNG state or simulator bookkeeping, so an
         #: instrumented run produces the same RunResult counters as an
@@ -194,6 +230,8 @@ class Machine:
                 self.health.bus = bus
             if self.repair is not None:
                 self.repair.bus = bus
+            if self.memtier is not None:
+                self.memtier.bus = bus
         self.sanitizer: Optional[InvariantSanitizer] = (
             InvariantSanitizer(self) if config.check_invariants else None
         )
@@ -594,6 +632,8 @@ class Machine:
                 self.now_us, priority=pid not in self.deprioritized_pids
             )
             rdma_wait = completion - self.now_us
+            if self.memtier is not None:
+                self.memtier.note_demand_read(node, pid, vpn, self.now_us)
         else:
             try:
                 rdma_wait = self._demand_fetch_resilient(pid, vpn, slot)
@@ -654,6 +694,8 @@ class Machine:
                 cost_us=cost,
                 zero_filled=zero_filled,
             )
+        if self.memtier is not None:
+            self.memtier.pump(self.now_us)
         return cost
 
     def _demand_fetch_resilient(self, pid: int, vpn: int, slot: int) -> float:
@@ -685,6 +727,8 @@ class Machine:
                 stall = node.injector.remote_delay_us(t)
                 if self.health is not None:
                     self.health.observe_success(node.node_id, t)
+                if self.memtier is not None:
+                    self.memtier.note_demand_read(node, pid, vpn, t)
                 return waited + (completion - t) + stall
             except TransferTimeout as fault:
                 self.timeouts += 1
@@ -807,6 +851,8 @@ class Machine:
         heapq.heappush(self._arrivals, (completion, self._arrival_seq, pid, vpn))
         self.prefetch_issued += 1
         self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + 1
+        if self.memtier is not None:
+            self.memtier.note_prefetch_read(node, 1)
         if self.telemetry is not None:
             self.telemetry.bus.emit(
                 EV_PREFETCH_ISSUE, now_us,
@@ -919,6 +965,10 @@ class Machine:
             self._note_peak()
             self.prefetch_issued += landed
             self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + landed
+            if self.memtier is not None:
+                # Count transfers, not landings: the scatter-gather READ
+                # moved every page even if strict mode refused some.
+                self.memtier.note_prefetch_read(node, len(vpns))
             if landed and (last_arrival is None or arrivals[-1] > last_arrival):
                 last_arrival = arrivals[-1]
         return last_arrival
@@ -1046,6 +1096,7 @@ class Machine:
                     return 0
                 pte.swap_slot = slot
                 self.pages_salvaged += 1
+                self._memtier_note_writeback(slot, pid, vpn)
                 clean = 0
             else:
                 # Clean: the remote copy at its slot is still valid.
@@ -1084,6 +1135,7 @@ class Machine:
                     self.writebacks_abandoned += 1
                     return 0
             pte.swap_slot = slot
+            self._memtier_note_writeback(slot, pid, vpn)
             self.frames.free(ppn)
             pte.ppn = -1
             pte.state = PteState.REMOTE
@@ -1176,6 +1228,17 @@ class Machine:
 
     # -- helpers ------------------------------------------------------------------------
 
+    def _memtier_note_writeback(self, slot: int, pid: int, vpn: int) -> None:
+        """Route a completed writeback into the migration engine (tier
+        accounting, pool pressure) and give its pump a turn.  One
+        ``None`` check on the default path."""
+        if self.memtier is None:
+            return
+        self.memtier.note_writeback(
+            self.cluster.primary_node(slot), slot, pid, vpn, self.now_us
+        )
+        self.memtier.pump(self.now_us)
+
     def _release_remote_copy(self, pid: int, vpn: int, slot: Optional[int] = None) -> None:
         """The page is mapped locally again: drop its swap slot — every
         replica across the cluster, so slot accounting conserves."""
@@ -1215,6 +1278,13 @@ class Machine:
             )
         self.health.start_drain(node_id, self.now_us)
         self.repair.on_drain(node_id)
+
+    def flush_memtier(self) -> None:
+        """Drain every queued tier migration at the current simulated
+        time so end-of-run metrics see a settled pool.  No-op on
+        untiered machines."""
+        if self.memtier is not None:
+            self.memtier.flush(self.now_us)
 
     def flush_recovery(self) -> None:
         """Drive recovery to quiescence at the current simulated time:

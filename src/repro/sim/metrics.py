@@ -127,6 +127,11 @@ class RunResult:
     #: every non-scenario run — the key is then absent from to_dict
     #: output, keeping goldens byte-identical.
     scenario: Optional[Dict[str, object]] = None
+    #: Memory-tier section (per-tier read/writeback counters, promotion
+    #: and demotion totals, migration traffic) attached by
+    #: :mod:`repro.memtier`; None whenever tiering is off — the key is
+    #: then absent from to_dict output, keeping goldens byte-identical.
+    memtier: Optional[Dict[str, object]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -284,6 +289,8 @@ class RunResult:
             out["telemetry"] = self.telemetry
         if self.scenario is not None:
             out["scenario"] = self.scenario
+        if self.memtier is not None:
+            out["memtier"] = self.memtier
         if full:
             out["machine"] = {
                 "compute_us": self.compute_us,
@@ -411,6 +418,7 @@ class RunResult:
             fabric_drop_signals=machine.get("fabric_drop_signals", 0),
             telemetry=data.get("telemetry"),
             scenario=data.get("scenario"),
+            memtier=data.get("memtier"),
             extra=dict(data.get("extra", {})),
         )
         return result

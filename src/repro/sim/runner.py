@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.cluster.cluster import ClusterConfig
+from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import systems as systems_mod
@@ -36,6 +37,7 @@ def make_machine(
     cluster: Optional[ClusterConfig] = None,
     check_invariants: bool = False,
     telemetry: Optional[TelemetryConfig] = None,
+    memtier: Optional[MemtierConfig] = None,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -51,6 +53,7 @@ def make_machine(
         cluster=cluster or ClusterConfig(),
         check_invariants=check_invariants,
         telemetry=telemetry,
+        memtier=memtier,
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -121,6 +124,8 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         result.repair_retries = machine.repair.repair_retries
     if machine.sanitizer is not None:
         result.invariant_checks = machine.sanitizer.checks_run
+    if machine.memtier is not None:
+        result.memtier = machine.memtier.section()
     if machine.hopp is not None:
         plane = machine.hopp
         result.hopp_hot_pages_unresolved = plane.hot_pages_unresolved
@@ -168,6 +173,7 @@ def run(
     check_invariants: bool = False,
     trace: Optional[Iterable] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    memtier: Optional[MemtierConfig] = None,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point.
 
@@ -189,10 +195,13 @@ def run(
         cluster,
         check_invariants,
         telemetry,
+        memtier,
     )
     machine.run(workload.trace() if trace is None else trace)
-    # Let in-flight recovery converge before measuring (no-op unless a
-    # fault plan armed it, and free of events unless a node crashed).
+    # Drain queued tier migrations, then let in-flight recovery converge
+    # before measuring (both no-ops unless memtier / a fault plan armed
+    # them).
+    machine.flush_memtier()
     machine.flush_recovery()
     return collect(machine, spec.name, workload.name)
 

@@ -52,7 +52,21 @@ kind                   emitted when / payload
                        ``task`` (replicate / evacuate), ``slot``
 ``cache_invalidate``   a swapcache entry was dropped by reclaim;
                        ``pid, vpn``
+``memtier_pool_read``  a demand fault was served by a pooled CXL-tier
+                       node; ``node, pid, vpn``
+``memtier_far_read``   a demand fault was served by an RDMA far-tier
+                       node; ``node, pid, vpn``
+``memtier_promote``    the migration engine moved a hot page from the
+                       far tier into the pool; ``slot, node, pid, vpn``
+``memtier_demote``     the migration engine moved a cold pool page to
+                       the far tier; ``slot, node, pid, vpn``
 ====================== ==============================================
+
+The ``memtier_*`` kinds describe *memory* tiers (where a page lives:
+pool vs far — :mod:`repro.memtier`); the ``tier`` *field* on prefetch
+events names a HoPP SSP/LSP/RSP *prefetch* tier
+(:mod:`repro.hopp.three_tier`).  The prefix keeps the two vocabularies
+apart in every exported series and counter.
 """
 
 from __future__ import annotations
@@ -74,6 +88,10 @@ EV_TIMELINESS = "timeliness"
 EV_NODE_STATE = "node_state"
 EV_REPAIR = "repair"
 EV_CACHE_INVALIDATE = "cache_invalidate"
+EV_MEMTIER_POOL_READ = "memtier_pool_read"
+EV_MEMTIER_FAR_READ = "memtier_far_read"
+EV_MEMTIER_PROMOTE = "memtier_promote"
+EV_MEMTIER_DEMOTE = "memtier_demote"
 
 #: The closed set of event kinds; the bus rejects anything else so a
 #: typo'd probe fails loudly in tests instead of vanishing silently.
@@ -94,6 +112,10 @@ EVENT_KINDS = frozenset(
         EV_NODE_STATE,
         EV_REPAIR,
         EV_CACHE_INVALIDATE,
+        EV_MEMTIER_POOL_READ,
+        EV_MEMTIER_FAR_READ,
+        EV_MEMTIER_PROMOTE,
+        EV_MEMTIER_DEMOTE,
     }
 )
 

@@ -243,7 +243,42 @@ _HELP = {
     "repro_repair_writes_total": "Fabric WRITEs issued by repair traffic",
     "repro_repair_bytes_total": "Bytes moved by repair traffic",
     "repro_repair_retries_total": "Repair transfers retried",
+    "repro_memtier_pool_demand_reads_total": "Demand reads served by the pooled CXL tier",
+    "repro_memtier_far_demand_reads_total": "Demand reads served by the RDMA far tier",
+    "repro_memtier_pool_prefetch_reads_total": "Prefetch page reads from the pooled CXL tier",
+    "repro_memtier_far_prefetch_reads_total": "Prefetch page reads from the RDMA far tier",
+    "repro_memtier_pool_writebacks_total": "Writebacks landing on the pooled CXL tier",
+    "repro_memtier_far_writebacks_total": "Writebacks landing on the RDMA far tier",
+    "repro_memtier_promotions_total": "Pages migrated far tier -> pool",
+    "repro_memtier_demotions_total": "Pages migrated pool -> far tier",
+    "repro_memtier_migration_reads_total": "Fabric READs issued by tier migrations",
+    "repro_memtier_migration_writes_total": "Fabric WRITEs issued by tier migrations",
+    "repro_memtier_migration_bytes_total": "Bytes moved by tier migrations",
+    "repro_memtier_migration_retries_total": "Tier migrations retried",
+    "repro_memtier_migrations_skipped_total": "Tier migrations abandoned after max retries",
+    "repro_memtier_hot_hints_total": "HPD hot-page hints delivered to the migration engine",
 }
+
+#: (Prometheus family suffix, RunResult.memtier section key).  Emitted
+#: zero-valued when the section is absent (untiered run or deserialized
+#: pre-tier result) so dashboards never see a missing series — the same
+#: always-present convention as the recovery counters above.
+_MEMTIER_FAMILIES = (
+    ("pool_demand_reads", "pool_demand_reads"),
+    ("far_demand_reads", "far_demand_reads"),
+    ("pool_prefetch_reads", "pool_prefetch_reads"),
+    ("far_prefetch_reads", "far_prefetch_reads"),
+    ("pool_writebacks", "pool_writebacks"),
+    ("far_writebacks", "far_writebacks"),
+    ("promotions", "promotions"),
+    ("demotions", "demotions"),
+    ("migration_reads", "migration_reads"),
+    ("migration_writes", "migration_writes"),
+    ("migration_bytes", "migration_bytes"),
+    ("migration_retries", "migration_retries"),
+    ("migrations_skipped", "migrations_skipped"),
+    ("hot_hints", "hot_hints"),
+)
 
 
 def _fmt_value(value: object) -> str:
@@ -315,6 +350,13 @@ def prometheus_snapshot(result) -> str:
     put("repro_repair_writes_total", result.repair_writes)
     put("repro_repair_bytes_total", result.repair_bytes)
     put("repro_repair_retries_total", result.repair_retries)
+
+    # Memory-tier counters: always-present families, zero-valued when
+    # tiering was off.  getattr-guarded so deserialized results from
+    # pre-tier schema versions export cleanly too.
+    memtier = getattr(result, "memtier", None) or {}
+    for suffix, key in _MEMTIER_FAMILIES:
+        put(f"repro_memtier_{suffix}_total", int(memtier.get(key, 0)))
 
     telemetry = getattr(result, "telemetry", None) or {}
     for entry in telemetry.get("node_metrics", ()):

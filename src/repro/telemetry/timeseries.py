@@ -33,6 +33,10 @@ from .events import (
     EV_FABRIC_READ,
     EV_FABRIC_WRITE,
     EV_FETCH_LATENCY,
+    EV_MEMTIER_DEMOTE,
+    EV_MEMTIER_FAR_READ,
+    EV_MEMTIER_POOL_READ,
+    EV_MEMTIER_PROMOTE,
     EV_NODE_STATE,
     EV_PREFETCH_DROP,
     EV_PREFETCH_GATE,
@@ -62,6 +66,12 @@ COUNT_SERIES = (
     "node_transitions",
     "repairs",
     "cache_invalidations",
+    # Memory-tier series (repro.memtier) — "memtier_" marks *memory*
+    # tiers (pool/far), never the SSP/LSP/RSP prefetch tiers.
+    "memtier_pool_reads",
+    "memtier_far_reads",
+    "memtier_promotions",
+    "memtier_demotions",
 )
 
 #: kind -> (series, count-field or None for 1).
@@ -79,6 +89,10 @@ _COUNT_DISPATCH = {
     EV_NODE_STATE: ("node_transitions", None),
     EV_REPAIR: ("repairs", None),
     EV_CACHE_INVALIDATE: ("cache_invalidations", None),
+    EV_MEMTIER_POOL_READ: ("memtier_pool_reads", None),
+    EV_MEMTIER_FAR_READ: ("memtier_far_reads", None),
+    EV_MEMTIER_PROMOTE: ("memtier_promotions", None),
+    EV_MEMTIER_DEMOTE: ("memtier_demotions", None),
 }
 
 #: kind -> (histogram series, value field).

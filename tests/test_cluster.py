@@ -90,11 +90,38 @@ class TestClusterConfigValidation:
 
 class TestPlacementPolicies:
     def test_known_names(self):
-        assert placement_names() == ["affinity", "hash", "interleave"]
+        assert placement_names() == ["affinity", "hash", "interleave", "tiered"]
 
     def test_unknown_name_raises_with_known_names(self):
         with pytest.raises(KeyError, match="interleave"):
             build_placement("bogus")
+
+    def test_unknown_name_error_is_typed_and_lists_names(self):
+        from repro.cluster.placement import UnknownPlacementError
+
+        with pytest.raises(UnknownPlacementError) as excinfo:
+            build_placement("bogus")
+        assert excinfo.value.name == "bogus"
+        assert excinfo.value.known == ("affinity", "hash", "interleave", "tiered")
+        message = str(excinfo.value)
+        for name in ("affinity", "hash", "interleave", "tiered"):
+            assert name in message
+
+    def test_duplicate_registration_raises_typed_error(self):
+        from repro.cluster.placement import DuplicatePlacementError
+
+        class ShadowInterleave(PlacementPolicy):
+            name = "interleave"
+
+            def place(self, pid, vpn, slot, cluster):  # pragma: no cover
+                return 0
+
+        with pytest.raises(DuplicatePlacementError) as excinfo:
+            register_placement(ShadowInterleave)
+        assert excinfo.value.name == "interleave"
+        assert "tiered" in str(excinfo.value)
+        # The registry is untouched by the failed registration.
+        assert placement_names() == ["affinity", "hash", "interleave", "tiered"]
 
     def test_interleave_round_robin_in_slot_order(self):
         cluster = _cluster(nodes=3)

@@ -19,6 +19,7 @@ from repro.exec import cache as cache_mod
 from repro.exec.cache import ResultCache, TraceCache, cache_key, cacheability
 from repro.exec.pool import execute, run_spec
 from repro.exec.spec import RUNNER_KWARGS_COVERED, RunSpec
+from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
 from repro.sim import runner
@@ -62,6 +63,12 @@ class TestCacheKey:
             dict(check_invariants=True),
             dict(telemetry=TelemetryConfig()),
             dict(telemetry=TelemetryConfig(epoch_us=500.0)),
+            dict(memtier=MemtierConfig()),
+            dict(memtier=MemtierConfig(pool_nodes=2)),
+            dict(memtier=MemtierConfig(pool_capacity_pages=128)),
+            dict(memtier=MemtierConfig(cxl_latency_us=1.6)),
+            dict(memtier=MemtierConfig(promote_touches=3)),
+            dict(memtier=MemtierConfig(pool_high_watermark=0.8)),
         ],
     )
     def test_every_field_perturbs_the_key(self, override):
@@ -116,7 +123,7 @@ class TestRunnerSignatureAudit:
         assert set(key) == {
             "workload", "workload_kwargs", "seed", "system", "fraction",
             "fabric", "fault_plan", "cluster", "check_invariants",
-            "telemetry",
+            "telemetry", "memtier",
         }
         # The projection must be JSON-stable (the hash input).
         json.dumps(key, sort_keys=True)
