@@ -62,8 +62,17 @@ def _build_parser() -> argparse.ArgumentParser:
             help="inject fabric/remote faults: 'chaos' (the hostile-"
                  "fabric preset), 'chaos:<seed>', 'crash' (one node dies "
                  "permanently mid-run), 'crash:<seed>', 'crash-rejoin' "
-                 "(dies, then a replacement racks in), or a JSON plan "
-                 "file",
+                 "(dies, then a replacement racks in), 'corruption' "
+                 "(silent bit flips + latent media errors), "
+                 "'corruption-chaos' (both at once), each with an "
+                 "optional ':<seed>' suffix, or a JSON plan file",
+        )
+        p.add_argument(
+            "--scrub-rate", type=float, default=None, metavar="PAGES/S",
+            help="arm the background patrol scrubber at this audit rate "
+                 "(pages per second of simulated time); scrub reads ride "
+                 "the repair engine's rate limiter and pay modeled READ "
+                 "cost",
         )
         p.add_argument(
             "--check-invariants", action="store_true",
@@ -284,10 +293,16 @@ def _load_fault_plan(value: Optional[str], seed: int) -> Optional[FaultPlan]:
         return FaultPlan.crash(seed)
     if value == "crash-rejoin":
         return FaultPlan.crash_rejoin(seed)
+    if value == "corruption":
+        return FaultPlan.corruption(seed)
+    if value == "corruption-chaos":
+        return FaultPlan.corruption_chaos(seed)
     for preset, builder in (
         ("chaos:", FaultPlan.chaos),
         ("crash:", FaultPlan.crash),
         ("crash-rejoin:", FaultPlan.crash_rejoin),
+        ("corruption:", FaultPlan.corruption),
+        ("corruption-chaos:", FaultPlan.corruption_chaos),
     ):
         if value.startswith(preset):
             raw_seed = value.split(":", 1)[1]
@@ -313,7 +328,19 @@ def _cluster_config(args) -> ClusterConfig:
 
 def _memtier_config(args):
     """The MemtierConfig selected by --mem-tiers/--cxl-latency-us/
-    --pool-capacity, or None (tiering off) when --mem-tiers is 0."""
+    --pool-capacity, or None (tiering off) when --mem-tiers is 0.
+
+    Rejects non-positive overrides up front: a zero/negative link
+    latency or pool capacity is always a typo, and failing here gives a
+    one-line error instead of a deep simulator traceback."""
+    if args.cxl_latency_us is not None and args.cxl_latency_us <= 0:
+        raise ValueError(
+            f"--cxl-latency-us must be > 0, got {args.cxl_latency_us:g}"
+        )
+    if args.pool_capacity is not None and args.pool_capacity <= 0:
+        raise ValueError(
+            f"--pool-capacity must be > 0 pages, got {args.pool_capacity}"
+        )
     pool_nodes = getattr(args, "mem_tiers", 0)
     if not pool_nodes:
         return None
@@ -325,6 +352,41 @@ def _memtier_config(args):
     if args.pool_capacity is not None:
         kwargs["pool_capacity_pages"] = args.pool_capacity
     return MemtierConfig(**kwargs)
+
+
+def _scrub_config(args):
+    """The ScrubConfig selected by --scrub-rate, or None (scrubber off)
+    when the flag was not given."""
+    rate = getattr(args, "scrub_rate", None)
+    if rate is None:
+        return None
+    if rate <= 0:
+        raise ValueError(f"--scrub-rate must be > 0 pages/s, got {rate:g}")
+    from repro.integrity import ScrubConfig
+
+    return ScrubConfig(rate_pages_per_s=rate)
+
+
+def _integrity_rows(result) -> List[List[object]]:
+    """Summary rows for the data-integrity section, empty when neither
+    corruption injection nor the scrubber was armed."""
+    section = getattr(result, "integrity", None)
+    if not section:
+        return []
+    return [
+        ["corruption detected (repaired/unresolved)",
+         f"{section['corruption_detected']} "
+         f"({section['corruption_repaired']}/"
+         f"{section['corruption_unresolved']})"],
+        ["pages poisoned / poisoned reads",
+         f"{section['pages_poisoned']}/{section['poisoned_reads']}"],
+        ["promotions barred by poison", section["promotions_barred"]],
+        ["scrub reads / scrub detections",
+         f"{section['scrub_reads']}/{section['scrub_detected']}"],
+        ["corruption injected (flips/media)",
+         f"{section['bit_flips_injected']}/"
+         f"{section['media_errors_injected']}"],
+    ]
 
 
 def _memtier_rows(result) -> List[List[object]]:
@@ -441,6 +503,7 @@ def _cmd_run(args) -> int:
         check_invariants=args.check_invariants,
         telemetry=_telemetry_config(args),
         memtier=_memtier_config(args),
+        scrub=_scrub_config(args),
     )
     ct_local = execute(
         [local_ct_spec(args.workload, args.seed, fabric)], cache=cache
@@ -520,6 +583,7 @@ def _cmd_run(args) -> int:
     if result.invariant_checks:
         rows.append(["invariant checks passed", result.invariant_checks])
     rows += _memtier_rows(result)
+    rows += _integrity_rows(result)
     rows += _write_telemetry_artifacts(args, result)
     print(render_table(["metric", "value"], rows,
                        title=f"{args.workload} on {args.system} "
@@ -537,6 +601,7 @@ def _cmd_compare(args) -> int:
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     cluster = _cluster_config(args)
     memtier = _memtier_config(args)
+    scrub = _scrub_config(args)
     cache = _make_cache(args)
     names = [name.strip() for name in args.systems.split(",") if name.strip()]
     # CT_local first (always fault-free, single-node: it is the
@@ -553,6 +618,7 @@ def _cmd_compare(args) -> int:
             cluster=cluster,
             check_invariants=args.check_invariants,
             memtier=memtier,
+            scrub=scrub,
         )
         for name in names
     ]

@@ -274,6 +274,11 @@ class RemoteMemoryCluster:
         #: Slots whose every copy died with its node — reads of these
         #: must zero-fill, not hit the fabric.
         self._lost_slots: Set[int] = set()
+        #: Slots poisoned by the integrity controller: every copy failed
+        #: checksum verification (CXL poison semantics — the data still
+        #: *exists*, so holders stay in the directory, but reads must
+        #: zero-fill and promotion to the pool tier is barred).
+        self._poisoned_slots: Set[int] = set()
         #: Optional :class:`~repro.cluster.health.HealthMonitor`;
         #: attached by ``Machine`` when recovery is armed.  When present,
         #: placement and re-routing skip non-placeable (DOWN/DRAINING)
@@ -388,6 +393,7 @@ class RemoteMemoryCluster:
         for node_id in self._holders.pop(slot, ()):  # pragma: no branch
             self.nodes[node_id].remote.release(slot)
         self._lost_slots.discard(slot)
+        self._poisoned_slots.discard(slot)
 
     def holders_of(self, slot: int) -> Tuple[int, ...]:
         return tuple(self._holders.get(slot, ()))
@@ -432,6 +438,7 @@ class RemoteMemoryCluster:
         """Every copy of ``slot`` died; remember it for zero-fill."""
         self._holders.pop(slot, None)
         self._lost_slots.add(slot)
+        self._poisoned_slots.discard(slot)
 
     def is_lost(self, slot: int) -> bool:
         return slot in self._lost_slots
@@ -439,6 +446,19 @@ class RemoteMemoryCluster:
     @property
     def lost_slot_count(self) -> int:
         return len(self._lost_slots)
+
+    def mark_poisoned(self, slot: int) -> None:
+        """Every copy of ``slot`` failed verification.  Unlike
+        :meth:`mark_lost` the holders stay: the known-bad data still
+        occupies its slots until the page is released or salvaged."""
+        self._poisoned_slots.add(slot)
+
+    def is_poisoned(self, slot: int) -> bool:
+        return slot in self._poisoned_slots
+
+    @property
+    def poisoned_slot_count(self) -> int:
+        return len(self._poisoned_slots)
 
     # -- aggregate metrics --------------------------------------------------------------
 

@@ -84,6 +84,11 @@ class RepairEngine:
         #: Telemetry event bus; None keeps the pump probe-free.  Set by
         #: the machine when telemetry is armed.
         self.bus = None
+        #: Optional :class:`~repro.integrity.scrub.PatrolScrubber`
+        #: riding this engine's rate limiter: repair tasks always win
+        #: the issue slot, scrub audits run in the idle gaps.  Set by
+        #: the machine when ``--scrub-rate`` arms it.
+        self.scrubber = None
         self._retries_of: dict = {}
         self._next_issue_us = 0.0
         # Counters surfaced into RunResult.
@@ -154,8 +159,16 @@ class RepairEngine:
         """Advance repair by at most one page copy, respecting the rate
         limit.  Called from the machine's access loop, so repair
         progresses with simulated time and its transfers contend with
-        demand traffic on the shared links."""
-        if not self._queue or now_us < self._next_issue_us:
+        demand traffic on the shared links.  With the queue empty, the
+        idle slot goes to the patrol scrubber (when armed and due) —
+        scrub audits share the limiter instead of adding load on top."""
+        if now_us < self._next_issue_us:
+            return
+        if not self._queue:
+            scrubber = self.scrubber
+            if scrubber is not None and scrubber.due(now_us):
+                self._next_issue_us = now_us + self.config.repair_interval_us
+                scrubber.step(now_us)
             return
         self._next_issue_us = now_us + self.config.repair_interval_us
         task = self._queue.popleft()
@@ -190,7 +203,7 @@ class RepairEngine:
         holders = cluster.holders_of(slot)
         if not holders or len(holders) >= self._replication_goal():
             return  # released or already repaired meanwhile
-        source = self._pick_source(holders)
+        source = self._pick_source(slot, holders, now_us)
         target_id = self._pick_target(holders)
         if source is None or target_id is None:
             self.repair_skipped += 1
@@ -275,12 +288,21 @@ class RepairEngine:
             self.cluster.config.replication, self.monitor.placeable_count()
         )
 
-    def _pick_source(self, holders):
+    def _pick_source(self, slot, holders, now_us):
+        """First readable holder whose stored copy passes its checksum;
+        a corrupt-ledger holder is the fallback only when no clean one
+        exists (re-replicating a bad copy propagates the corruption for
+        the integrity controller to untangle later)."""
+        fallback = None
         for node_id in holders:
             node = self.cluster.nodes[node_id]
-            if self.monitor.is_readable(node_id):
+            if not self.monitor.is_readable(node_id):
+                continue
+            if node.remote.checksums.is_clean(slot, now_us):
                 return node
-        return None
+            if fallback is None:
+                fallback = node
+        return fallback
 
     def _pick_target(self, holders) -> Optional[int]:
         """First ring node after the primary that is placeable, not

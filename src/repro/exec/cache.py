@@ -41,7 +41,10 @@ from repro.workloads import registry as workload_registry
 #: RunResult's full wire format gained the ``machine`` counter section.
 #: v3: memory tiers — RunSpec gained the ``memtier`` key dimension and
 #: RunResult's wire format gained the optional ``memtier`` section.
-SCHEMA_VERSION = 3
+#: v4: end-to-end integrity — RunSpec gained the ``scrub`` key
+#: dimension, FaultPlan gained corruption fields, and RunResult's wire
+#: format gained the optional ``integrity`` section.
+SCHEMA_VERSION = 4
 
 
 def canonical_json(payload: Dict[str, object]) -> str:

@@ -51,6 +51,7 @@ def run_spec(spec: RunSpec, trace_cache: Optional[TraceCache] = None) -> RunResu
         trace=trace,
         telemetry=spec.telemetry,
         memtier=spec.memtier,
+        scrub=spec.scrub,
     )
 
 

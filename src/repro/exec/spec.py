@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 from repro.cluster.cluster import ClusterConfig
+from repro.integrity import ScrubConfig
 from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
@@ -37,6 +38,7 @@ RUNNER_KWARGS_COVERED = frozenset(
         "trace",  # engine-internal; see module docstring
         "telemetry",
         "memtier",
+        "scrub",
     }
 )
 
@@ -61,6 +63,7 @@ class RunSpec:
     check_invariants: bool = False
     telemetry: Optional[TelemetryConfig] = None
     memtier: Optional[MemtierConfig] = None
+    scrub: Optional[ScrubConfig] = None
 
     def key_dict(self) -> Dict[str, object]:
         """Canonical, JSON-stable projection of every result-affecting
@@ -94,6 +97,10 @@ class RunSpec:
             "memtier": (
                 None if self.memtier is None else asdict(self.memtier)
             ),
+            # scrub=None means no patrol scrubber, which is NOT the same
+            # run as any armed ScrubConfig (audit reads contend for
+            # bandwidth, and scrub-only arms the recovery machinery).
+            "scrub": None if self.scrub is None else asdict(self.scrub),
         }
 
     def label(self) -> str:

@@ -82,6 +82,10 @@ class MigrationEngine:
         #: Telemetry event bus; None keeps every note/pump probe-free.
         #: Set by the machine when telemetry is armed.
         self.bus = None
+        #: Integrity controller (:mod:`repro.integrity`); None keeps
+        #: migration reads verify-free.  Set by the machine when
+        #: corruption injection or the patrol scrubber is armed.
+        self.integrity = None
         #: (pid, vpn) -> far-tier demand-read touches so far.  Bounded;
         #: insertion-ordered so the oldest entry ages out first.
         self._touches: Dict[Tuple[int, int], int] = {}
@@ -184,6 +188,14 @@ class MigrationEngine:
         if (pid, vpn) in self._hot:
             self._enqueue(("promote", slot, -1))
 
+    def note_poisoned(self, slot: int) -> None:
+        """The integrity controller poisoned ``slot``: a pool-resident
+        copy is force-demoted to the far tier — known-bad data must not
+        occupy the scarce CXL pool."""
+        entry = self._pool_seq.get(slot)
+        if entry is not None:
+            self._enqueue(("demote", slot, entry[0]))
+
     # -- the background pump -----------------------------------------------------------
 
     @property
@@ -238,6 +250,12 @@ class MigrationEngine:
         holders = cluster.holders_of(slot)
         if not holders or cluster.is_lost(slot):
             return  # released or lost meanwhile
+        if cluster.is_poisoned(slot):
+            # CXL poison semantics: a known-bad page never earns a pool
+            # residency, however hot its identity looks.
+            if self.integrity is not None:
+                self.integrity.promotions_barred += 1
+            return
         source_id = holders[0]
         source = cluster.nodes[source_id]
         if source.tier != TIER_FAR:
@@ -317,6 +335,30 @@ class MigrationEngine:
             read_done = source.fabric.read_page(now_us)
             source.remote.read(slot, now_us=now_us)
             self.migration_reads += 1
+            integrity = self.integrity
+            if (
+                integrity is not None
+                and not self.cluster.is_poisoned(slot)
+                and not source.remote.checksums.is_clean(slot, now_us)
+            ):
+                # Migration must not spread a corrupt copy: detect it,
+                # repair the source in place from a clean replica, and
+                # re-queue the move.  (A force-demote of an already
+                # poisoned slot skips the verify — the corruption is
+                # condemned, the move is the point.)
+                integrity.note_detected(
+                    now_us, slot, source.node_id,
+                    since=source.remote.checksums.corrupt_since(slot),
+                    source="migration",
+                )
+                outcome = integrity.resolve_stored_corruption(
+                    slot, source.node_id, now_us
+                )
+                if outcome == "poisoned":
+                    self.migrations_skipped += 1
+                else:
+                    self._requeue(task)
+                return False
             target.fabric.write_page(read_done)
             target.remote.write(slot, pid, vpn, now_us=read_done)
             self.migration_writes += 1

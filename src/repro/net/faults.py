@@ -22,7 +22,13 @@ swap path can be exercised under typed, reproducible failures:
   *permanently* dead (its stored pages are gone) until a paired
   ``node_rejoin`` timestamp, if any, re-admits it empty.  Crashes are
   what the cluster's health monitor and repair engine exist for
-  (:mod:`repro.cluster.health`, :mod:`repro.cluster.repair`).
+  (:mod:`repro.cluster.health`, :mod:`repro.cluster.repair`);
+* **silent corruption** — ``bit_flip_read`` (transient wire flip on a
+  READ payload), ``bit_flip_write`` (the stored copy lands corrupted),
+  and ``media_error_rate`` (a stored copy silently rots at a later,
+  deterministic strike time).  None of these raise at injection time:
+  they poison *data*, not completions, and only checksum verification
+  (:mod:`repro.integrity`) ever notices.
 
 Everything is a pure function of (plan, seed, transfer sequence), so a
 run under faults is exactly as reproducible as a clean run.
@@ -32,7 +38,7 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 
@@ -173,9 +179,27 @@ class FaultPlan:
     #: as a fresh machine racked in to replace the dead one.  Fewer
     #: rejoins than crashes means the unpaired crashes are forever.
     node_rejoin: Tuple[float, ...] = ()
+    #: Per-READ chance the payload arrives with a flipped bit.  Transient
+    #: wire corruption: the stored copy is fine, a re-read from the same
+    #: node comes back clean.
+    bit_flip_read: float = 0.0
+    #: Per-WRITE chance the payload lands corrupted.  Persistent: the
+    #: stored copy is bad until it is overwritten or repaired.
+    bit_flip_write: float = 0.0
+    #: Per-stored-copy chance of a latent media error: the copy is clean
+    #: at write time and silently rots at a deterministic later strike
+    #: time, uniform in ``(write, write + media_error_latency_us)``.
+    media_error_rate: float = 0.0
+    media_error_latency_us: float = 20_000.0
 
     def __post_init__(self) -> None:
-        for name in ("timeout_probability", "write_timeout_probability"):
+        for name in (
+            "timeout_probability",
+            "write_timeout_probability",
+            "bit_flip_read",
+            "bit_flip_write",
+            "media_error_rate",
+        ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
@@ -183,6 +207,11 @@ class FaultPlan:
             raise ValueError(f"timeout_us must be > 0, got {self.timeout_us}")
         if self.remote_stall_extra_us < 0:
             raise ValueError("remote_stall_extra_us must be >= 0")
+        if self.media_error_latency_us <= 0:
+            raise ValueError(
+                f"media_error_latency_us must be > 0, "
+                f"got {self.media_error_latency_us}"
+            )
         object.__setattr__(self, "link_down", _windows(self.link_down))
         object.__setattr__(self, "prefetch_down", _windows(self.prefetch_down))
         object.__setattr__(self, "degraded", _epochs(self.degraded))
@@ -221,6 +250,17 @@ class FaultPlan:
             and not self.remote_stall
             and not self.remote_restart
             and not self.node_crash
+            and not self.has_corruption
+        )
+
+    @property
+    def has_corruption(self) -> bool:
+        """True when the plan can silently corrupt data (which arms the
+        checksum-verify machinery on the demand and migration paths)."""
+        return (
+            self.bit_flip_read > 0.0
+            or self.bit_flip_write > 0.0
+            or self.media_error_rate > 0.0
         )
 
     # -- construction helpers ---------------------------------------------------------
@@ -263,6 +303,33 @@ class FaultPlan:
         the full DOWN -> repair -> REJOINING -> UP lifecycle runs."""
         return cls(seed=seed, node_crash=(at_us,), node_rejoin=(rejoin_us,))
 
+    @classmethod
+    def corruption(cls, seed: int = 1) -> "FaultPlan":
+        """Silent corruption only: wire flips on both transfer
+        directions plus latent media errors, with no loud faults at all
+        — every wrong page the run serves would be *undetected* without
+        checksum verification."""
+        return cls(
+            seed=seed,
+            bit_flip_read=0.01,
+            bit_flip_write=0.005,
+            media_error_rate=0.05,
+            media_error_latency_us=15_000.0,
+        )
+
+    @classmethod
+    def corruption_chaos(cls, seed: int = 1) -> "FaultPlan":
+        """The hostile-fabric preset with silent corruption layered on
+        top: drops, flaps and stalls racing wire flips and media rot."""
+        chaos = cls.chaos(seed)
+        return replace(
+            chaos,
+            bit_flip_read=0.01,
+            bit_flip_write=0.005,
+            media_error_rate=0.05,
+            media_error_latency_us=15_000.0,
+        )
+
     #: Field -> converter used by :meth:`from_dict` so a malformed JSON
     #: plan fails naming the offending field, not with a bare TypeError.
     _FIELD_PARSERS = {
@@ -278,6 +345,10 @@ class FaultPlan:
         "remote_restart": _windows,
         "node_crash": lambda raw: tuple(float(t) for t in raw),
         "node_rejoin": lambda raw: tuple(float(t) for t in raw),
+        "bit_flip_read": float,
+        "bit_flip_write": float,
+        "media_error_rate": float,
+        "media_error_latency_us": float,
     }
 
     @classmethod
@@ -319,6 +390,10 @@ class FaultPlan:
             "remote_restart": [[w.start_us, w.end_us] for w in self.remote_restart],
             "node_crash": list(self.node_crash),
             "node_rejoin": list(self.node_rejoin),
+            "bit_flip_read": self.bit_flip_read,
+            "bit_flip_write": self.bit_flip_write,
+            "media_error_rate": self.media_error_rate,
+            "media_error_latency_us": self.media_error_latency_us,
         }
 
 
@@ -336,6 +411,10 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        # Corruption coins come from their own stream so arming (or
+        # re-tuning) corruption never perturbs the timeout/drop sequence
+        # existing chaos results are pinned to.
+        self._corrupt_rng = random.Random(plan.seed ^ 0xC0FFEE)
         self.timeouts_injected = 0
         self.drops_by_kind: Dict[str, int] = {}
         self.link_down_drops = 0
@@ -344,6 +423,8 @@ class FaultInjector:
         self.remote_stalls = 0
         self.remote_unavailable = 0
         self.crash_refusals = 0
+        self.bit_flips_injected = 0
+        self.media_errors_injected = 0
 
     # -- fabric hooks -----------------------------------------------------------------
 
@@ -383,6 +464,44 @@ class FaultInjector:
         if factor > 1.0:
             self.degraded_transfers += 1
         return factor
+
+    # -- silent-corruption hooks ------------------------------------------------------
+
+    def corrupt_read(self, now_us: float) -> bool:
+        """Seeded coin: did this READ payload arrive with a flipped bit?
+        Transient — the stored copy is untouched."""
+        p = self.plan.bit_flip_read
+        if p and self._corrupt_rng.random() < p:
+            self.bit_flips_injected += 1
+            return True
+        return False
+
+    def corrupt_write(self, now_us: float) -> bool:
+        """Seeded coin: did this WRITE land a corrupted stored copy?"""
+        p = self.plan.bit_flip_write
+        if p and self._corrupt_rng.random() < p:
+            self.bit_flips_injected += 1
+            return True
+        return False
+
+    def media_strike_us(
+        self, slot: int, write_index: int, now_us: float
+    ) -> Optional[float]:
+        """The future time at which this freshly-written copy silently
+        rots, or None if it never does.  A pure function of (plan seed,
+        slot, write index) — independent of the shared coin streams —
+        so identical writes rot identically regardless of interleaving.
+        """
+        rate = self.plan.media_error_rate
+        if not rate:
+            return None
+        rng = random.Random(
+            (self.plan.seed * 1_000_003 + slot) * 1_000_003 + write_index
+        )
+        if rng.random() >= rate:
+            return None
+        self.media_errors_injected += 1
+        return now_us + rng.random() * self.plan.media_error_latency_us
 
     # -- remote-node hooks ------------------------------------------------------------
 

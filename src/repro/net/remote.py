@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.integrity.checksum import SlotChecksums
 from repro.net.faults import FaultInjector
 
 
@@ -53,6 +54,11 @@ class RemoteMemoryNode:
         #: Memory-tier label ("pool"/"far"); None on untiered clusters.
         self.tier = tier
         self._slots: Dict[int, Tuple[int, int]] = {}
+        #: Per-slot content checksums (:mod:`repro.integrity`).  Pure
+        #: bookkeeping with no injector armed, so the golden path is
+        #: untouched; with corruption armed, the injector's coins decide
+        #: which stored copies go bad.
+        self.checksums = SlotChecksums(injector)
         self.pages_written = 0
         self.pages_read = 0
         self.pages_overwritten = 0
@@ -73,6 +79,7 @@ class RemoteMemoryNode:
         if slot in self._slots:
             self.pages_overwritten += 1
         self._slots[slot] = (pid, vpn)
+        self.checksums.record_write(slot, now_us, self.pages_written)
         self.pages_written += 1
 
     def read(self, slot: int, now_us: Optional[float] = None) -> Tuple[int, int]:
@@ -87,6 +94,7 @@ class RemoteMemoryNode:
     def release(self, slot: int) -> None:
         """Free a slot once its page was faulted back and re-dirtied."""
         if self._slots.pop(slot, None) is not None:
+            self.checksums.drop(slot)
             self.pages_released += 1
 
     def migrate_out(self, slot: int) -> None:
@@ -94,6 +102,7 @@ class RemoteMemoryNode:
         drop it here, conserved via ``pages_migrated_out`` (the target
         node's ``write`` accounts for the new copy)."""
         if self._slots.pop(slot, None) is not None:
+            self.checksums.drop(slot)
             self.pages_migrated_out += 1
 
     def crash(self) -> int:
@@ -101,6 +110,7 @@ class RemoteMemoryNode:
         pages were wiped; accounting stays conserved via ``pages_lost``."""
         wiped = len(self._slots)
         self._slots.clear()
+        self.checksums.clear()
         self.pages_lost += wiped
         self.crashes += 1
         return wiped

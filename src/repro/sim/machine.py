@@ -44,6 +44,12 @@ from repro.common.constants import (
 )
 from repro.common.types import FaultBreakdown
 from repro.hopp.system import HoppDataPlane
+from repro.integrity import (
+    IntegrityController,
+    PageCorruptError,
+    PatrolScrubber,
+    ScrubConfig,
+)
 from repro.kernel.cgroup import CgroupManager, CgroupOverLimitError, MemoryCgroup
 from repro.kernel.frames import FrameAllocator
 from repro.kernel.page_table import PageTable, Pte, PteState
@@ -145,6 +151,12 @@ class MachineConfig:
     #: nodes are added in front of the configured (far) nodes and an
     #: ``interleave`` placement upgrades to ``tiered``.
     memtier: Optional[MemtierConfig] = None
+    #: Patrol scrubber (:mod:`repro.integrity`): background checksum
+    #: audits riding the repair engine's rate limiter.  None (the
+    #: default) builds no scrubber and keeps every run byte-identical.
+    #: Arming it without a fault plan upgrades to an *empty* plan so the
+    #: recovery machinery (whose pump carries the scrubber) exists.
+    scrub: Optional[ScrubConfig] = None
 
 
 class Machine:
@@ -162,6 +174,11 @@ class Machine:
         self.now_us = 0.0
 
         plan = config.fault_plan
+        if plan is None and config.scrub is not None:
+            # The scrubber rides the repair engine's pump, so arming it
+            # arms the recovery machinery too — with an *empty* plan,
+            # which injects nothing and leaves node injectors unarmed.
+            plan = FaultPlan.none()
         cluster_config = config.cluster
         if config.memtier is not None and cluster_config.node_tiers is None:
             # Tiering armed on an untiered topology: put the pooled CXL
@@ -216,6 +233,22 @@ class Machine:
                 self.cluster, self.swap_space, config.memtier
             )
             self.cluster.memtier_hot = self.memtier.is_hot
+        #: End-to-end integrity (repro.integrity): armed when the plan
+        #: can corrupt pages or a patrol scrubber is configured.  None
+        #: otherwise — every verify site is one ``is not None`` check
+        #: and corruption-free runs stay byte-identical.
+        self.integrity: Optional[IntegrityController] = None
+        self.scrubber: Optional[PatrolScrubber] = None
+        if (plan is not None and plan.has_corruption) or config.scrub is not None:
+            self.integrity = IntegrityController(self.cluster, self.swap_space)
+            self.integrity.memtier = self.memtier
+            if self.memtier is not None:
+                self.memtier.integrity = self.integrity
+            if config.scrub is not None:
+                self.scrubber = PatrolScrubber(
+                    self.cluster, self.integrity, config.scrub
+                )
+                self.repair.scrubber = self.scrubber
         #: Telemetry, armed only on request.  Probes are observers: they
         #: never touch RNG state or simulator bookkeeping, so an
         #: instrumented run produces the same RunResult counters as an
@@ -232,6 +265,8 @@ class Machine:
                 self.repair.bus = bus
             if self.memtier is not None:
                 self.memtier.bus = bus
+            if self.integrity is not None:
+                self.integrity.bus = bus
         self.sanitizer: Optional[InvariantSanitizer] = (
             InvariantSanitizer(self) if config.check_invariants else None
         )
@@ -626,6 +661,14 @@ class Machine:
             rdma_wait = 0.0
             self.pages_zero_filled += 1
             zero_filled = True
+        elif self._slot_is_poisoned(slot):
+            # Every copy is known-bad (CXL poison): serving it would
+            # return garbage, so the read resolves like a machine-check
+            # — a zero-filled frame, counted separately from loss.
+            rdma_wait = 0.0
+            self.integrity.poisoned_reads += 1
+            self.pages_zero_filled += 1
+            zero_filled = True
         elif self.faults is None:
             node = self.cluster.primary_node(slot)
             completion = node.fabric.read_page(
@@ -641,6 +684,14 @@ class Machine:
                 # The loss was discovered by this very fault's retries:
                 # the detection latency is paid, then zero-fill.
                 rdma_wait = gone.waited_us
+                self.pages_zero_filled += 1
+                zero_filled = True
+            except PageCorruptError as rotten:
+                # This very fault discovered that no clean copy exists:
+                # the slot was just poisoned, the verify latency is
+                # paid, then zero-fill.
+                rdma_wait = rotten.waited_us
+                self.integrity.poisoned_reads += 1
                 self.pages_zero_filled += 1
                 zero_filled = True
             except RemoteFetchFatalError as fatal:
@@ -707,9 +758,18 @@ class Machine:
         the total wait charged to the fault (retries + final transfer +
         any remote stall); raises ``RemoteFetchFatalError`` once the
         budget is exhausted.
+
+        With integrity armed, every completed read is verified: a
+        transient wire flip re-reads the same node (detected and
+        repaired on the spot); a stored-corrupt copy fails over to the
+        next replica, and when every replica is corrupt the slot is
+        poisoned and ``PageCorruptError`` raised.  A clean read that
+        followed corrupt copies repairs them all — the fault's release
+        of the slot discards every bad replica.
         """
         waited = 0.0
         attempts = 0
+        flips = 0
         candidates = (
             self.cluster.read_candidates(slot)
             if slot is not None and slot >= 0
@@ -717,18 +777,65 @@ class Machine:
         )
         target = 0
         prio = pid not in self.deprioritized_pids
+        integrity = self.integrity
+        bad: set = set()
         while True:
             node = candidates[target % len(candidates)]
+            if bad and node.node_id in bad and len(bad) < len(candidates):
+                # Known-corrupt holder; an unexamined replica remains.
+                target += 1
+                continue
             t = self.now_us + waited
             try:
                 completion = node.fabric.read_page(t, priority=prio)
                 if slot is not None and slot >= 0:
                     node.remote.read(slot, now_us=t)
                 stall = node.injector.remote_delay_us(t)
+                if (
+                    integrity is not None
+                    and slot is not None
+                    and slot >= 0
+                    and node.injector is not None
+                ):
+                    checksums = node.remote.checksums
+                    if not checksums.is_clean(slot, t):
+                        # Stored copy is bad: the transfer is paid, the
+                        # mismatch detected, and the fault fails over.
+                        integrity.note_detected(
+                            t, slot, node.node_id,
+                            since=checksums.corrupt_since(slot),
+                            source="demand",
+                        )
+                        bad.add(node.node_id)
+                        waited += (completion - t) + stall
+                        if len(bad) >= len(candidates):
+                            # Every replica is corrupt: CXL poison.
+                            integrity.poison(slot, t, condemned=len(bad))
+                            raise PageCorruptError(
+                                pid, vpn, slot, waited_us=waited
+                            )
+                        target += 1
+                        continue
+                    if node.injector.corrupt_read(t):
+                        # Transient flip on the wire: the stored copy is
+                        # fine, so the re-read (same node) repairs it.
+                        integrity.note_detected(
+                            t, slot, node.node_id, source="demand"
+                        )
+                        integrity.note_repaired(1, t, slot, node.node_id)
+                        if flips <= self.config.demand_retry_limit:
+                            flips += 1
+                            waited += (completion - t) + stall
+                            continue
                 if self.health is not None:
                     self.health.observe_success(node.node_id, t)
                 if self.memtier is not None:
                     self.memtier.note_demand_read(node, pid, vpn, t)
+                if bad and integrity is not None:
+                    # A clean copy served the page; the corrupt replicas
+                    # die with the slot's release, so they count repaired.
+                    integrity.note_repaired(len(bad), t, slot, node.node_id)
+                    bad.clear()
                 return waited + (completion - t) + stall
             except TransferTimeout as fault:
                 self.timeouts += 1
@@ -742,10 +849,14 @@ class Machine:
                     if slot is not None and slot >= 0 and self.cluster.is_lost(slot):
                         # The timeout just exposed a permanent crash and
                         # this slot had no surviving replica.
+                        if bad and integrity is not None:
+                            integrity.note_unresolved(len(bad))
                         raise PageLostError(
                             pid, vpn, slot, waited_us=waited + fault.wasted_us
                         ) from fault
                 if attempts > self.config.demand_retry_limit:
+                    if bad and integrity is not None:
+                        integrity.note_unresolved(len(bad))
                     raise RemoteFetchFatalError(
                         pid, vpn, attempts,
                         waited_us=waited + fault.wasted_us,
@@ -788,9 +899,11 @@ class Machine:
         pte = table.entry(vpn)
         if pte.state != PteState.REMOTE:
             return None
-        if self._slot_is_lost(pte.swap_slot):
-            # Every replica died; nothing remote to fetch — the demand
-            # path will zero-fill on first touch.
+        if self._slot_is_lost(pte.swap_slot) or self._slot_is_poisoned(
+            pte.swap_slot
+        ):
+            # Every replica died (or is known-bad); nothing worth
+            # fetching — the demand path will zero-fill on first touch.
             return None
         if self.prefetch_admission is not None and not self.prefetch_admission(
             pid, tier, now_us
@@ -881,6 +994,7 @@ class Machine:
             for vpn in range(max(start_vpn, 0), start_vpn + npages)
             if table.entry(vpn).state == PteState.REMOTE
             and not self._slot_is_lost(table.entry(vpn).swap_slot)
+            and not self._slot_is_poisoned(table.entry(vpn).swap_slot)
         ]
         if not fetchable:
             return None
@@ -1070,11 +1184,14 @@ class Machine:
                 self.telemetry.bus.emit(
                     EV_CACHE_INVALIDATE, self.now_us, pid=pid, vpn=vpn
                 )
-            if self._slot_is_lost(pte.swap_slot):
-                # The remote copy died with its node; this swapcache
-                # page is the last copy left.  Write it back to a fresh
-                # slot instead of clean-dropping it (that would turn a
-                # recoverable crash into data loss).
+            if self._slot_is_lost(pte.swap_slot) or self._slot_is_poisoned(
+                pte.swap_slot
+            ):
+                # The remote copy died with its node (or every replica
+                # is poisoned); this swapcache page is the last good
+                # copy left.  Write it back to a fresh slot instead of
+                # clean-dropping it (that would turn a recoverable
+                # crash into data loss).
                 self._release_remote_copy(pid, vpn)
                 slot = self.swap_space.allocate(pid, vpn)
                 try:
@@ -1252,6 +1369,11 @@ class Machine:
     def _slot_is_lost(self, slot: Optional[int]) -> bool:
         """Whether every replica of ``slot`` died with its node(s)."""
         return slot is not None and slot >= 0 and self.cluster.is_lost(slot)
+
+    def _slot_is_poisoned(self, slot: Optional[int]) -> bool:
+        """Whether ``slot`` carries the CXL poison mark (every stored
+        copy known-bad; reads must zero-fill, never serve)."""
+        return slot is not None and slot >= 0 and self.cluster.is_poisoned(slot)
 
     def _apply_health_events(self, events: List[HealthEvent]) -> None:
         """Route monitor events into the repair engine.  The sanitizer

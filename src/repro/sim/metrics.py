@@ -132,6 +132,12 @@ class RunResult:
     #: :mod:`repro.memtier`; None whenever tiering is off — the key is
     #: then absent from to_dict output, keeping goldens byte-identical.
     memtier: Optional[Dict[str, object]] = None
+    #: End-to-end integrity section (corruption detections/repairs,
+    #: poisoned pages, scrub traffic, detection latency) attached by
+    #: :mod:`repro.integrity`; None whenever neither corruption
+    #: injection nor the patrol scrubber was armed — the key is then
+    #: absent from to_dict output, keeping goldens byte-identical.
+    integrity: Optional[Dict[str, object]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     # -- paper metrics ----------------------------------------------------------
@@ -291,6 +297,8 @@ class RunResult:
             out["scenario"] = self.scenario
         if self.memtier is not None:
             out["memtier"] = self.memtier
+        if self.integrity is not None:
+            out["integrity"] = self.integrity
         if full:
             out["machine"] = {
                 "compute_us": self.compute_us,
@@ -419,6 +427,7 @@ class RunResult:
             telemetry=data.get("telemetry"),
             scenario=data.get("scenario"),
             memtier=data.get("memtier"),
+            integrity=data.get("integrity"),
             extra=dict(data.get("extra", {})),
         )
         return result

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.cluster.cluster import ClusterConfig
+from repro.integrity import ScrubConfig
 from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
@@ -38,6 +39,7 @@ def make_machine(
     check_invariants: bool = False,
     telemetry: Optional[TelemetryConfig] = None,
     memtier: Optional[MemtierConfig] = None,
+    scrub: Optional[ScrubConfig] = None,
 ) -> Machine:
     """Assemble a machine sized for ``workload`` and register its
     processes and VMAs."""
@@ -54,6 +56,7 @@ def make_machine(
         check_invariants=check_invariants,
         telemetry=telemetry,
         memtier=memtier,
+        scrub=scrub,
     )
     machine = spec.build(config)
     for process in workload.processes:
@@ -126,6 +129,8 @@ def collect(machine: Machine, system_name: str, workload_name: str) -> RunResult
         result.invariant_checks = machine.sanitizer.checks_run
     if machine.memtier is not None:
         result.memtier = machine.memtier.section()
+    if machine.integrity is not None:
+        result.integrity = machine.integrity.section()
     if machine.hopp is not None:
         plane = machine.hopp
         result.hopp_hot_pages_unresolved = plane.hot_pages_unresolved
@@ -174,6 +179,7 @@ def run(
     trace: Optional[Iterable] = None,
     telemetry: Optional[TelemetryConfig] = None,
     memtier: Optional[MemtierConfig] = None,
+    scrub: Optional[ScrubConfig] = None,
 ) -> RunResult:
     """Drive one workload through one system; the primary entry point.
 
@@ -196,6 +202,7 @@ def run(
         check_invariants,
         telemetry,
         memtier,
+        scrub,
     )
     machine.run(workload.trace() if trace is None else trace)
     # Drain queued tier migrations, then let in-flight recovery converge

@@ -35,6 +35,12 @@ The checks (all must hold between accesses, never mid-fault):
    (their store still answers, so they are consistent by construction).
 5. **Residency accounting** — the per-cgroup resident counters sum to
    the frames in use, and every node's slot accounting conserves.
+6. **Integrity bookkeeping** — no slot is both lost and poisoned;
+   every poisoned slot still has directory holders (poison means the
+   data *exists* but is known-bad — loss drops the mark); every deviant
+   checksum-ledger entry names a slot its node actually stores; and the
+   integrity controller's ledger arithmetic is closed (every detected
+   corruption ended repaired, unresolved, or condemned by a poisoning).
 """
 
 from __future__ import annotations
@@ -77,6 +83,7 @@ class InvariantSanitizer:
         self._check_swap_vs_directory()
         self._check_directory_vs_stores()
         self._check_residency()
+        self._check_integrity()
 
     # -- 1: frames <-> page tables -----------------------------------------------------
 
@@ -235,3 +242,39 @@ class InvariantSanitizer:
                     f"node {node.node_id} slot accounting does not "
                     f"conserve: {node.remote.stats_snapshot()}",
                 )
+
+    # -- 6: integrity bookkeeping ------------------------------------------------------
+
+    def _check_integrity(self) -> None:
+        machine = self.machine
+        cluster = machine.cluster
+        for slot in cluster._poisoned_slots:
+            if cluster.is_lost(slot):
+                _fail(
+                    "integrity",
+                    f"slot {slot} is marked both lost and poisoned",
+                )
+            if not cluster.holders_of(slot):
+                _fail(
+                    "integrity",
+                    f"slot {slot} is poisoned but has no directory "
+                    f"holders (poisoned data must still exist)",
+                )
+        for node in cluster.nodes:
+            for slot in node.remote.checksums.tracked_slots():
+                if not node.remote.holds(slot):
+                    _fail(
+                        "integrity",
+                        f"node {node.node_id} checksum ledger tracks "
+                        f"slot {slot} which the node does not store",
+                    )
+        controller = machine.integrity
+        if controller is not None and not controller.balanced:
+            _fail(
+                "integrity",
+                f"corruption ledger does not balance: "
+                f"detected={controller.corruption_detected} != "
+                f"repaired={controller.corruption_repaired} + "
+                f"unresolved={controller.corruption_unresolved} + "
+                f"condemned={controller.poisoned_copies}",
+            )

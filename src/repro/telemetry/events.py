@@ -60,6 +60,16 @@ kind                   emitted when / payload
                        far tier into the pool; ``slot, node, pid, vpn``
 ``memtier_demote``     the migration engine moved a cold pool page to
                        the far tier; ``slot, node, pid, vpn``
+``corruption``         a copy failed checksum verification;
+                       ``slot, node, source`` (demand / scrub /
+                       migration / resolve)
+``corrupt_repair``     ``n`` detected copies resolved from a clean
+                       replica; ``slot, node, n``
+``poison``             a slot with no clean copy was poisoned
+                       (CXL poison semantics); ``slot, n`` condemned
+                       copies
+``scrub``              the patrol scrubber audited one stored copy;
+                       ``slot, node``
 ====================== ==============================================
 
 The ``memtier_*`` kinds describe *memory* tiers (where a page lives:
@@ -92,6 +102,10 @@ EV_MEMTIER_POOL_READ = "memtier_pool_read"
 EV_MEMTIER_FAR_READ = "memtier_far_read"
 EV_MEMTIER_PROMOTE = "memtier_promote"
 EV_MEMTIER_DEMOTE = "memtier_demote"
+EV_CORRUPTION = "corruption"
+EV_CORRUPT_REPAIR = "corrupt_repair"
+EV_POISON = "poison"
+EV_SCRUB = "scrub"
 
 #: The closed set of event kinds; the bus rejects anything else so a
 #: typo'd probe fails loudly in tests instead of vanishing silently.
@@ -116,6 +130,10 @@ EVENT_KINDS = frozenset(
         EV_MEMTIER_FAR_READ,
         EV_MEMTIER_PROMOTE,
         EV_MEMTIER_DEMOTE,
+        EV_CORRUPTION,
+        EV_CORRUPT_REPAIR,
+        EV_POISON,
+        EV_SCRUB,
     }
 )
 

@@ -257,6 +257,18 @@ _HELP = {
     "repro_memtier_migration_retries_total": "Tier migrations retried",
     "repro_memtier_migrations_skipped_total": "Tier migrations abandoned after max retries",
     "repro_memtier_hot_hints_total": "HPD hot-page hints delivered to the migration engine",
+    "repro_integrity_corruption_detected_total": "Stored or wire corruptions caught by checksum verification",
+    "repro_integrity_corruption_repaired_total": "Detected corruptions resolved from a clean replica",
+    "repro_integrity_corruption_unresolved_total": "Detected corruptions left latent (repair transfer failed)",
+    "repro_integrity_pages_poisoned_total": "Slots poisoned after every replica failed verification",
+    "repro_integrity_poisoned_reads_total": "Demand reads of poisoned slots resolved by zero-fill",
+    "repro_integrity_promotions_barred_total": "Pool promotions refused because the slot is poisoned",
+    "repro_integrity_scrub_reads_total": "Patrol-scrubber audit reads issued",
+    "repro_integrity_scrub_detected_total": "Stored corruptions the patrol scrubber caught",
+    "repro_integrity_repair_reads_total": "Fabric READs spent rewriting corrupt copies",
+    "repro_integrity_repair_writes_total": "Fabric WRITEs spent rewriting corrupt copies",
+    "repro_integrity_bit_flips_injected_total": "Bit-flip corruptions injected by the fault plan",
+    "repro_integrity_media_errors_injected_total": "Latent media errors injected by the fault plan",
 }
 
 #: (Prometheus family suffix, RunResult.memtier section key).  Emitted
@@ -278,6 +290,23 @@ _MEMTIER_FAMILIES = (
     ("migration_retries", "migration_retries"),
     ("migrations_skipped", "migrations_skipped"),
     ("hot_hints", "hot_hints"),
+)
+
+#: (Prometheus family suffix, RunResult.integrity section key).  Same
+#: always-present, zero-when-absent convention as the memtier families.
+_INTEGRITY_FAMILIES = (
+    ("corruption_detected", "corruption_detected"),
+    ("corruption_repaired", "corruption_repaired"),
+    ("corruption_unresolved", "corruption_unresolved"),
+    ("pages_poisoned", "pages_poisoned"),
+    ("poisoned_reads", "poisoned_reads"),
+    ("promotions_barred", "promotions_barred"),
+    ("scrub_reads", "scrub_reads"),
+    ("scrub_detected", "scrub_detected"),
+    ("repair_reads", "repair_reads"),
+    ("repair_writes", "repair_writes"),
+    ("bit_flips_injected", "bit_flips_injected"),
+    ("media_errors_injected", "media_errors_injected"),
 )
 
 
@@ -357,6 +386,12 @@ def prometheus_snapshot(result) -> str:
     memtier = getattr(result, "memtier", None) or {}
     for suffix, key in _MEMTIER_FAMILIES:
         put(f"repro_memtier_{suffix}_total", int(memtier.get(key, 0)))
+
+    # Integrity counters: always-present families, zero-valued when
+    # neither corruption injection nor the scrubber was armed.
+    integrity = getattr(result, "integrity", None) or {}
+    for suffix, key in _INTEGRITY_FAMILIES:
+        put(f"repro_integrity_{suffix}_total", int(integrity.get(key, 0)))
 
     telemetry = getattr(result, "telemetry", None) or {}
     for entry in telemetry.get("node_metrics", ()):

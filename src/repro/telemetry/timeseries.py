@@ -29,6 +29,8 @@ from repro.common.stats import Histogram, safe_ratio
 
 from .events import (
     EV_CACHE_INVALIDATE,
+    EV_CORRUPT_REPAIR,
+    EV_CORRUPTION,
     EV_DEMAND_FAULT,
     EV_FABRIC_READ,
     EV_FABRIC_WRITE,
@@ -42,10 +44,12 @@ from .events import (
     EV_PREFETCH_GATE,
     EV_PREFETCH_HIT,
     EV_PREFETCH_ISSUE,
+    EV_POISON,
     EV_PREFETCH_LAND,
     EV_PREFETCH_UNUSED,
     EV_REPAIR,
     EV_RETRY,
+    EV_SCRUB,
     EV_TIMELINESS,
 )
 
@@ -72,6 +76,13 @@ COUNT_SERIES = (
     "memtier_far_reads",
     "memtier_promotions",
     "memtier_demotions",
+    # Integrity series (repro.integrity): corruption detections and
+    # repairs count *copies*, poisonings count slots, scrubs count
+    # audit reads.
+    "corruptions_detected",
+    "corruptions_repaired",
+    "pages_poisoned",
+    "scrub_reads",
 )
 
 #: kind -> (series, count-field or None for 1).
@@ -93,6 +104,10 @@ _COUNT_DISPATCH = {
     EV_MEMTIER_FAR_READ: ("memtier_far_reads", None),
     EV_MEMTIER_PROMOTE: ("memtier_promotions", None),
     EV_MEMTIER_DEMOTE: ("memtier_demotions", None),
+    EV_CORRUPTION: ("corruptions_detected", None),
+    EV_CORRUPT_REPAIR: ("corruptions_repaired", "n"),
+    EV_POISON: ("pages_poisoned", None),
+    EV_SCRUB: ("scrub_reads", None),
 }
 
 #: kind -> (histogram series, value field).

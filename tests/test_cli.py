@@ -97,6 +97,76 @@ class TestFaultPlanPresets:
         assert plan.seed == 2 and plan.node_rejoin
         assert _load_fault_plan("chaos", 3).node_crash == ()
 
+    def test_corruption_presets_resolve(self):
+        from repro.cli import _load_fault_plan
+
+        plan = _load_fault_plan("corruption", 3)
+        assert plan.has_corruption and plan.seed == 3
+        assert plan.timeout_probability == 0
+        assert _load_fault_plan("corruption:9", 3).seed == 9
+        combo = _load_fault_plan("corruption-chaos:4", 3)
+        assert combo.has_corruption and combo.timeout_probability > 0
+        assert combo.seed == 4
+
+    def test_bad_corruption_seed_fails(self, capsys):
+        assert main([
+            "run", "-w", "stream-simple", "--fault-plan", "corruption:x",
+        ]) == 2
+        assert "corruption:<int>" in capsys.readouterr().err
+
+
+class TestFlagValidation:
+    def test_nonpositive_scrub_rate_fails(self, capsys):
+        for bad in ("0", "-5"):
+            assert main([
+                "run", "-w", "stream-simple", "--no-cache",
+                "--scrub-rate", bad,
+            ]) == 2
+            assert "--scrub-rate must be > 0" in capsys.readouterr().err
+
+    def test_nonpositive_cxl_latency_fails(self, capsys):
+        assert main([
+            "run", "-w", "stream-simple", "--no-cache",
+            "--mem-tiers", "1", "--cxl-latency-us", "0",
+        ]) == 2
+        assert "--cxl-latency-us must be > 0" in capsys.readouterr().err
+
+    def test_nonpositive_pool_capacity_fails(self, capsys):
+        assert main([
+            "run", "-w", "stream-simple", "--no-cache",
+            "--mem-tiers", "1", "--pool-capacity", "-1",
+        ]) == 2
+        assert "--pool-capacity must be > 0" in capsys.readouterr().err
+
+    def test_bad_tier_flags_fail_even_without_mem_tiers(self, capsys):
+        # A typo'd override should not silently pass just because
+        # tiering happened to be off.
+        assert main([
+            "run", "-w", "stream-simple", "--no-cache",
+            "--cxl-latency-us", "-2",
+        ]) == 2
+        assert "--cxl-latency-us" in capsys.readouterr().err
+
+
+class TestIntegrityFlags:
+    def test_corruption_run_prints_integrity_rows(self, capsys):
+        code = main([
+            "run", "-w", "quicksort", "-s", "noprefetch", "-f", "0.5",
+            "--no-cache", "--fault-plan", "corruption",
+            "--remote-nodes", "3", "--replication", "2",
+            "--scrub-rate", "5000", "--check-invariants",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corruption detected (repaired/unresolved)" in out
+        assert "scrub reads / scrub detections" in out
+
+    def test_plain_run_has_no_integrity_rows(self, capsys):
+        assert main(["run", "-w", "stream-simple", "-s", "fastswap",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption detected" not in out
+
 
 class TestCompare:
     def test_compare_table(self, capsys):

@@ -19,6 +19,7 @@ from repro.exec import cache as cache_mod
 from repro.exec.cache import ResultCache, TraceCache, cache_key, cacheability
 from repro.exec.pool import execute, run_spec
 from repro.exec.spec import RUNNER_KWARGS_COVERED, RunSpec
+from repro.integrity import ScrubConfig
 from repro.memtier import MemtierConfig
 from repro.net.faults import FaultPlan
 from repro.net.rdma import FabricConfig
@@ -69,6 +70,10 @@ class TestCacheKey:
             dict(memtier=MemtierConfig(cxl_latency_us=1.6)),
             dict(memtier=MemtierConfig(promote_touches=3)),
             dict(memtier=MemtierConfig(pool_high_watermark=0.8)),
+            dict(scrub=ScrubConfig()),
+            dict(scrub=ScrubConfig(rate_pages_per_s=1000.0)),
+            dict(fault_plan=FaultPlan(bit_flip_read=0.01)),
+            dict(fault_plan=FaultPlan(media_error_rate=0.05)),
         ],
     )
     def test_every_field_perturbs_the_key(self, override):
@@ -123,7 +128,7 @@ class TestRunnerSignatureAudit:
         assert set(key) == {
             "workload", "workload_kwargs", "seed", "system", "fraction",
             "fabric", "fault_plan", "cluster", "check_invariants",
-            "telemetry", "memtier",
+            "telemetry", "memtier", "scrub",
         }
         # The projection must be JSON-stable (the hash input).
         json.dumps(key, sort_keys=True)

@@ -106,7 +106,7 @@ class TestEventBus:
 
     def test_every_constant_is_in_the_closed_set(self):
         assert EV_DEMAND_FAULT in EVENT_KINDS
-        assert len(EVENT_KINDS) == 19
+        assert len(EVENT_KINDS) == 23
 
 
 class TestEpochBucketing:
