@@ -83,6 +83,12 @@ class StreamObservation:
     ``vpn_history`` holds the last L VPNs of the stream (oldest first) and
     ``stride_history`` the corresponding L-1 strides, exactly the inputs of
     Algorithms 1 and 2 in the paper.
+
+    ``stride_counts`` is an optional precomputed non-zero-stride
+    histogram of ``stride_history`` (the STT maintains one incrementally
+    per stream).  It is a live view, valid until the stream's next hot
+    page; SSP consumes it synchronously.  None means "not provided" —
+    consumers recount from ``stride_history``.
     """
 
     pid: int
@@ -92,6 +98,7 @@ class StreamObservation:
     stride_history: Tuple[int, ...]
     stream_id: int
     timestamp_us: float = 0.0
+    stride_counts: Optional[dict] = None
 
 
 @slotted_dataclass()

@@ -99,6 +99,81 @@ class HotPageDetector:
             return self._extract(ppn, entry)
         return None
 
+    def process_run(self, ppn: int, reads: int) -> tuple:
+        """Collapse ``reads`` consecutive READ accesses to one page into
+        O(1) counter math.  Returns ``(reads_consumed, fired)``.
+
+        The batch kernel segments the trace into same-page runs; within a
+        run every access probes the same set and entry, so the per-access
+        ``process`` bookkeeping telescopes: one probe, one ``move_to_end``,
+        and integer bumps sized by the run.  When the hot threshold is
+        crossed mid-run the method consumes only the reads up to and
+        including the firing one (``fired`` True) — the caller re-enters
+        with the remainder after the extraction pipeline has run, exactly
+        as the per-access loop would have.
+        """
+        if reads <= 0:
+            return 0, False
+        table = self._table
+        target = table._sets[ppn % table.nsets]
+        entry = target.get(ppn)
+        used = 0
+        if entry is None:
+            table.misses += 1
+            entry = HpdEntry(count=1, sent=False)
+            if len(target) >= table.nways:
+                target.popitem(last=False)
+                table.evictions += 1
+            target[ppn] = entry
+            self.accesses += 1
+            used = 1
+            if self.threshold == 1:
+                self._extract(ppn, entry)
+                return 1, True
+            if used == reads:
+                return 1, False
+        rest = reads - used
+        target.move_to_end(ppn)
+        if entry.sent:
+            table.hits += rest
+            self.accesses += rest
+            self.dropped_after_send += rest
+            return reads, False
+        need = self.threshold - entry.count
+        if rest < need:
+            table.hits += rest
+            self.accesses += rest
+            entry.count += rest
+            return reads, False
+        table.hits += need
+        self.accesses += need
+        entry.count += need
+        self._extract(ppn, entry)
+        return used + need, True
+
+    def process_batch(self, paddrs, writes=None) -> tuple:
+        """Feed a batch of MC accesses; stop at the first extraction.
+
+        ``writes`` is a parallel is-write sequence (None means all
+        reads).  Returns ``(consumed, hot_ppn)`` where ``consumed``
+        counts the accesses processed — all of them when no page went
+        hot (``hot_ppn`` None), else up to and including the firing
+        access.  Equivalent to calling :meth:`process` per access and
+        stopping at the first non-None result.
+        """
+        process = self.process
+        if writes is None:
+            for idx, paddr in enumerate(paddrs):
+                hot = process(paddr, False)
+                if hot is not None:
+                    return idx + 1, hot
+        else:
+            for idx, paddr in enumerate(paddrs):
+                hot = process(paddr, writes[idx])
+                if hot is not None:
+                    return idx + 1, hot
+        return len(paddrs), None
+
     def _extract(self, ppn: int, entry: Optional[HpdEntry]) -> int:
         if entry is not None:
             entry.sent = True
@@ -182,6 +257,27 @@ class MultiChannelHpd:
 
     def process(self, paddr: int, is_write: bool = False) -> Optional[int]:
         return self._detectors[self.channel_of(paddr)].process(paddr, is_write)
+
+    def process_batch(self, paddrs, writes=None) -> tuple:
+        """Batch interface for the chunked kernel (HMTT drains bursts,
+        not single events).  Routes each access to its channel's
+        detector and stops at the first extraction; returns
+        ``(consumed, hot_ppn)`` with the same contract as
+        :meth:`HotPageDetector.process_batch`.
+        """
+        detectors = self._detectors
+        channel_of = self.channel_of
+        if writes is None:
+            for idx, paddr in enumerate(paddrs):
+                hot = detectors[channel_of(paddr)].process(paddr, False)
+                if hot is not None:
+                    return idx + 1, hot
+        else:
+            for idx, paddr in enumerate(paddrs):
+                hot = detectors[channel_of(paddr)].process(paddr, writes[idx])
+                if hot is not None:
+                    return idx + 1, hot
+        return len(paddrs), None
 
     # -- aggregated statistics --------------------------------------------------
 

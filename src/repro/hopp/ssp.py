@@ -36,10 +36,42 @@ def dominant_stride(strides, min_count: int) -> Optional[int]:
     return best if best_count >= min_count else None
 
 
+def dominant_stride_from_counts(counts, strides, min_count: int) -> Optional[int]:
+    """``dominant_stride`` on a precomputed non-zero-stride histogram.
+
+    Picks the same winner: the stride with the highest count, ties going
+    to the one seen first in ``strides`` (the histogram's insertion
+    order is re-insertion order, not first-occurrence order, so ties
+    re-scan the window — the rare path).
+    """
+    best_count = 0
+    for c in counts.values():
+        if c > best_count:
+            best_count = c
+    if best_count < min_count:
+        return None
+    tied = [s for s, c in counts.items() if c == best_count]
+    if len(tied) == 1:
+        return tied[0]
+    tied_set = set(tied)
+    for s in strides:
+        if s in tied_set:
+            return s
+    return None  # pragma: no cover - tied strides always appear in strides
+
+
 def train(observation: StreamObservation) -> Optional[PrefetchDecision]:
     """Identify a simple stream; None hands over to LSP."""
     history_len = len(observation.vpn_history)
-    stride = dominant_stride(observation.stride_history, min_count=history_len // 2)
+    counts = observation.stride_counts
+    if counts is None:
+        stride = dominant_stride(
+            observation.stride_history, min_count=history_len // 2
+        )
+    else:
+        stride = dominant_stride_from_counts(
+            counts, observation.stride_history, min_count=history_len // 2
+        )
     if stride is None:
         return None
     return PrefetchDecision(

@@ -29,6 +29,14 @@ class SttEntry:
     vpns: Deque[int]
     #: Strides between consecutive VPNs; len == len(vpns) - 1.
     strides: Deque[int]
+    #: Invariant: Counter of the non-zero strides currently in
+    #: ``strides``, maintained incrementally by ``feed`` so SSP's
+    #: dominant-stride scan is O(distinct strides) per observation
+    #: instead of O(history).
+    stride_counts: Dict[int, int] = field(default_factory=dict)
+    #: Mirror of ``vpns[-1]`` kept as a plain slot: ``_match`` reads it
+    #: once per scanned peer, and the deque indexing adds up.
+    last: int = 0
 
     @property
     def last_vpn(self) -> int:
@@ -51,6 +59,10 @@ class StreamTrainingTable:
         self.stream_delta = stream_delta
         #: stream_id -> entry; ordering encodes recency (last = MRU).
         self._entries: "OrderedDict[int, SttEntry]" = OrderedDict()
+        #: pid -> (stream_id -> entry), mirroring ``_entries``'s recency
+        #: order among that pid's streams; lets ``_match`` scan only the
+        #: pid's own streams with an identical tie-break order.
+        self._by_pid: Dict[int, "OrderedDict[int, SttEntry]"] = {}
         self._next_stream_id = 0
         self.hot_pages_in = 0
         self.duplicates_dropped = 0
@@ -68,16 +80,32 @@ class StreamTrainingTable:
         if entry is None:
             self._allocate(pid, vpn)
             return None
-        if vpn == entry.last_vpn:
+        if vpn == entry.last:
             # Repeated extraction of the same page (multi-channel dedup,
             # Section III-B) — no new information.
             self.duplicates_dropped += 1
             self._entries.move_to_end(entry.stream_id)
+            self._by_pid[pid].move_to_end(entry.stream_id)
             return None
-        stride = vpn - entry.last_vpn
+        stride = vpn - entry.last
+        strides = entry.strides
+        counts = entry.stride_counts
+        if len(strides) == strides.maxlen:
+            # Appending will drop the oldest stride out of the window.
+            old = strides[0]
+            if old:
+                left = counts[old] - 1
+                if left:
+                    counts[old] = left
+                else:
+                    del counts[old]
         entry.vpns.append(vpn)
-        entry.strides.append(stride)
+        entry.last = vpn
+        strides.append(stride)
+        if stride:
+            counts[stride] = counts.get(stride, 0) + 1
         self._entries.move_to_end(entry.stream_id)
+        self._by_pid[pid].move_to_end(entry.stream_id)
         if len(entry.vpns) < self.history_len:
             return None
         self.observations_out += 1
@@ -86,39 +114,74 @@ class StreamTrainingTable:
             vpn=vpn,
             stride=stride,
             vpn_history=tuple(entry.vpns),
-            stride_history=tuple(entry.strides),
+            stride_history=tuple(strides),
             stream_id=entry.stream_id,
             timestamp_us=now_us,
+            stride_counts=counts,
         )
+
+    def feed_batch(self, hot_pages, now_us: float = 0.0) -> List[StreamObservation]:
+        """Feed a batch of ``(pid, vpn)`` hot pages at one timestamp.
+
+        Returns the observations the batch produced, in feed order —
+        exactly ``[feed(pid, vpn, now_us) for ...]`` with the Nones
+        dropped.  The batch kernel enters the pipeline one extraction at
+        a time (an extraction can issue prefetches that change what the
+        next one sees), so this is for offline consumers: trace-driven
+        training, multi-channel drain sweeps, and tests.
+        """
+        feed = self.feed
+        out: List[StreamObservation] = []
+        append = out.append
+        for pid, vpn in hot_pages:
+            observation = feed(pid, vpn, now_us)
+            if observation is not None:
+                append(observation)
+        return out
 
     # -- internals -------------------------------------------------------------------
 
     def _match(self, pid: int, vpn: int) -> Optional[SttEntry]:
-        """Closest stream with the same PID within Delta_stream pages."""
+        """Closest stream with the same PID within Delta_stream pages.
+
+        Scans only the pid's own streams via ``_by_pid``; their relative
+        recency order matches ``_entries``, so the strict ``<`` tie-break
+        (first-scanned wins among equal distances) picks the same entry
+        the full-table scan would.
+        """
+        peers = self._by_pid.get(pid)
+        if not peers:
+            return None
         best: Optional[SttEntry] = None
         best_distance = self.stream_delta + 1
-        for entry in self._entries.values():
-            if entry.pid != pid:
-                continue
-            distance = abs(vpn - entry.last_vpn)
-            if distance <= self.stream_delta and distance < best_distance:
+        _abs = abs
+        for entry in peers.values():
+            distance = _abs(vpn - entry.last)
+            if distance < best_distance:
                 best = entry
                 best_distance = distance
-        return best
+        return best if best_distance <= self.stream_delta else None
 
     def _allocate(self, pid: int, vpn: int) -> SttEntry:
         if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            _, victim = self._entries.popitem(last=False)
+            del self._by_pid[victim.pid][victim.stream_id]
             self.streams_evicted += 1
         entry = SttEntry(
             stream_id=self._next_stream_id,
             pid=pid,
             vpns=deque([vpn], maxlen=self.history_len),
             strides=deque(maxlen=self.history_len - 1),
+            stride_counts={},
+            last=vpn,
         )
         self._next_stream_id += 1
         self.streams_created += 1
         self._entries[entry.stream_id] = entry
+        peers = self._by_pid.get(pid)
+        if peers is None:
+            peers = self._by_pid[pid] = OrderedDict()
+        peers[entry.stream_id] = entry
         return entry
 
     # -- introspection ------------------------------------------------------------------

@@ -149,6 +149,16 @@ class HoppDataPlane:
         hot_ppn = self.hpd.process(paddr, is_write)
         if hot_ppn is None:
             return
+        self.on_hot_page(timestamp_us, hot_ppn)
+
+    def on_hot_page(self, timestamp_us: float, hot_ppn: int) -> None:
+        """Resolve one extracted hot page through RPT → STT → trainer →
+        policy → executor (steps 2-4 of Figure 4).
+
+        Split out of :meth:`on_mc_access` so the chunked batch kernel,
+        which runs HPD itself over whole same-page runs, can enter the
+        pipeline directly at an extraction barrier.
+        """
         entry = self.rpt_cache.lookup(hot_ppn)
         if entry is None:
             # Frame not mapped by any process (kernel/DMA memory).

@@ -67,6 +67,7 @@ from repro.net.faults import (
 )
 from repro.net.rdma import FabricConfig, RdmaFabric
 from repro.net.remote import RemoteMemoryNode
+from repro.sim import batchkernel
 from repro.sim.sanitizer import InvariantSanitizer
 from repro.telemetry import Telemetry, TelemetryConfig
 from repro.telemetry.events import (
@@ -284,6 +285,9 @@ class Machine:
         #: bounds the DRAM the app's pages can occupy regardless of the
         #: accounting policy (frames are physical either way).
         self._resident: Dict[str, int] = {}
+        #: Invariant: sum(self._resident.values()) — maintained at every
+        #: mutation site so _note_peak is O(1) on the prefetch/fault paths.
+        self._resident_total = 0
         #: Pending prefetch arrivals: (arrival_us, seq, pid, vpn).
         self._arrivals: List[Tuple[float, int, int, int]] = []
         self._arrival_seq = 0
@@ -389,7 +393,7 @@ class Machine:
         prefetch pages and in-flight fetches), or across every cgroup
         when called without an argument."""
         if cgroup is None:
-            return sum(self._resident.values())
+            return self._resident_total
         return self._resident[cgroup]
 
     # -- main entry: one LLC-miss reference -------------------------------------------
@@ -438,18 +442,31 @@ class Machine:
         self.controller.access(self.now_us, paddr, is_write)
         return cost
 
-    def run(self, trace, progress_every: int = 0, use_fast_path: bool = True) -> None:
+    def run(
+        self,
+        trace,
+        progress_every: int = 0,
+        use_fast_path: bool = True,
+        kernel: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         """Drive a whole (pid, vaddr) or (pid, vaddr, is_write) trace.
 
-        The loop inlines a resident-hit fast path: a PRESENT page with no
-        prefetch bookkeeping, no arrival due, and no armed health monitor
-        or sanitizer bypasses the full fault machinery of :meth:`access`
-        and touches only the LRU, the breakdown, and the MC.  The fast
-        path repeats :meth:`access`'s arithmetic operation-for-operation
-        (same values, same order of float additions), so every counter
-        and timestamp stays byte-identical to the slow path — pinned by
-        tests/test_fastpath.py.  ``use_fast_path=False`` forces every
-        reference through :meth:`access` (the differential oracle).
+        Resident hits bypass the full fault machinery of :meth:`access`:
+        by default through the chunked batch kernel
+        (:mod:`repro.sim.batchkernel`), which scans ahead to the next
+        barrier (due arrival, residency miss, HPD extraction, chunk
+        edge) and retires whole same-page runs with O(1) bookkeeping;
+        ``kernel="legacy"`` selects the PR-4 per-access loops instead
+        (kept as the bench's pre-batching comparator and as the
+        fallback for tap wirings the batch kernel does not understand).
+        Every fast path repeats :meth:`access`'s arithmetic
+        operation-for-operation (same values, same order of float
+        additions), so every counter and timestamp stays byte-identical
+        to the slow path — pinned by tests/test_fastpath.py.
+        ``use_fast_path=False`` forces every reference through
+        :meth:`access` (the differential oracle).  ``chunk_size``
+        overrides the batch kernel's scan-ahead window (testing knob).
         """
         if (
             not use_fast_path
@@ -467,10 +484,17 @@ class Machine:
             return
         # Taps register at machine assembly (HoPP data plane, tracers),
         # never mid-run; pick the loop specialized for the wiring.
+        batch = kernel != "legacy"
         if self.controller._taps:
-            self._run_fast_tapped(trace, self.controller._taps)
+            if batch and batchkernel.supports_batch_taps(self):
+                batchkernel.BatchKernel(self, self.hopp, chunk_size).run(trace)
+            else:
+                self._run_fast_tapped(trace, self.controller._taps)
         else:
-            self._run_fast_untapped(trace)
+            if batch:
+                batchkernel.BatchKernel(self, None, chunk_size).run(trace)
+            else:
+                self._run_fast_untapped(trace)
 
     def _fast_bindings(self):
         """Loop-stable locals shared by both fast-path loops."""
@@ -608,6 +632,7 @@ class Machine:
         cgroup = self._cgroup_of[pid]
         cgroup.charge(1)
         self._resident[cgroup.name] += 1
+        self._resident_total += 1
         self._note_peak()
         ppn = self.frames.allocate(pid, vpn)
         table.map_page(vpn, ppn)
@@ -649,6 +674,7 @@ class Machine:
         cgroup = self._cgroup_of[pid]
         cgroup.charge(1)
         self._resident[cgroup.name] += 1
+        self._resident_total += 1
         self._note_peak()
         ppn = self.frames.allocate(pid, vpn)
         pte.ppn = ppn
@@ -924,6 +950,7 @@ class Machine:
             self._ensure_headroom(pid)
             cgroup.charge(1, prefetch=True)
         self._resident[cgroup.name] += 1
+        self._resident_total += 1
         pte.ppn = self.frames.allocate(pid, vpn)
         node = self._node_for_page(pte)
         try:
@@ -939,6 +966,7 @@ class Machine:
             pte.ppn = -1
             cgroup.uncharge(1, prefetch=True)
             self._resident[cgroup.name] -= 1
+            self._resident_total -= 1
             self.timeouts += 1
             self.prefetch_issued += 1
             self.issued_by_tier[tier] = self.issued_by_tier.get(tier, 0) + 1
@@ -1061,6 +1089,7 @@ class Machine:
                     self._ensure_headroom(pid)
                     cgroup.charge(1, prefetch=True)
                 self._resident[cgroup.name] += 1
+                self._resident_total += 1
                 pte = table.entry(vpn)
                 pte.ppn = self.frames.allocate(pid, vpn)
                 pte.state = PteState.INFLIGHT
@@ -1265,6 +1294,7 @@ class Machine:
             return 0
         cgroup.uncharge(1, prefetch=was_prefetch_charge and not cgroup.charge_prefetch)
         self._resident[cgroup.name] -= 1
+        self._resident_total -= 1
         if wasted:
             pte.prefetched = False
             self.prefetch_wasted += 1
@@ -1446,7 +1476,7 @@ class Machine:
         return self._lru_of[self._cgroup_of[pid].name]
 
     def _note_peak(self) -> None:
-        resident = sum(self._resident.values())
+        resident = self._resident_total
         if resident > self.peak_resident_pages:
             self.peak_resident_pages = resident
 
