@@ -16,9 +16,9 @@ from repro.hopp.hardware_model import HPD_ENTRY_BITS, SramModel
 from repro.hopp.hpd import HotPageDetector
 from repro.workloads import build
 
-from common import SEED, time_one
+from common import SEED, param_grid, time_one
 
-GEOMETRIES = [(1, 16), (4, 16), (16, 16), (64, 16)]
+GEOMETRIES = list(param_grid(nsets=[1, 4, 16, 64], nways=[16]))
 MAX_ACCESSES = 300_000
 
 
@@ -40,7 +40,8 @@ def test_ablation_hpd_geometry(benchmark):
     rows = []
     repeats_by_capacity = {}
     ratio_by_capacity = {}
-    for nsets, nways in GEOMETRIES:
+    for point in GEOMETRIES:
+        nsets, nways = point["nsets"], point["nways"]
         hpd = churn_metrics(nsets, nways)
         capacity = nsets * nways
         estimate = model.estimate(capacity * HPD_ENTRY_BITS)

@@ -20,7 +20,7 @@ from repro.sim.runner import collect, make_machine
 from repro.sim.systems import SystemSpec
 from repro.workloads import build
 
-from common import SEED, time_one
+from common import SEED, param_grid, time_one
 
 #: A deliberately nasty fabric: heavy jitter, frequent big spikes.
 VOLATILE = FabricConfig(
@@ -52,7 +52,8 @@ def test_ablation_alpha_sweep(benchmark):
 
     rows = []
     completion = {}
-    for alpha in (0.0, 0.05, 0.2, 0.5):
+    for point in param_grid(alpha=[0.0, 0.05, 0.2, 0.5]):
+        alpha = point["alpha"]
         config = (
             PolicyConfig(adaptive=False)
             if alpha == 0.0
@@ -97,7 +98,8 @@ def test_ablation_intensity_on_congested_fabric(benchmark):
 
     rows = []
     results = {}
-    for intensity in (1, 2, 4):
+    for point in param_grid(intensity=[1, 2, 4]):
+        intensity = point["intensity"]
         result = run_intensity(intensity)
         results[intensity] = result
         rows.append(

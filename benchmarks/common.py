@@ -17,8 +17,9 @@ roughly what factor, where the knees fall — are the reproduction targets
 
 from __future__ import annotations
 
+import itertools
 import os
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.exec.cache import ResultCache, TraceCache
 from repro.exec.pool import execute, local_ct_spec
@@ -119,6 +120,19 @@ def corun_result(names: Iterable[str], system: str, fraction: float = 0.5) -> Ru
         workloads = [build(name, seed=SEED + i) for i, name in enumerate(names)]
         _MEMO[key] = run_corun(workloads, system, fraction, _FABRIC, seed=SEED)
     return _MEMO[key]
+
+
+def param_grid(**axes: Iterable[object]) -> Iterator[Dict[str, object]]:
+    """The cartesian product of named axes as dicts, in declared order
+    with the rightmost axis varying fastest — the one grid-enumeration
+    idiom every ablation sweep shares.
+
+    >>> list(param_grid(nsets=[1, 4], nways=[16]))
+    [{'nsets': 1, 'nways': 16}, {'nsets': 4, 'nways': 16}]
+    """
+    names = list(axes)
+    for values in itertools.product(*(list(axes[name]) for name in names)):
+        yield dict(zip(names, values))
 
 
 def time_one(benchmark, fn):

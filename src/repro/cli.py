@@ -6,6 +6,7 @@ list                 show registered workloads and systems
 run                  run one workload under one system, print metrics
 compare              run one workload under several systems
 sweep                run a (workload x system x fraction) grid
+tune                 black-box search over the HoPP design space
 trace                capture a workload's HMTT trace to a file
 analyze              classify a trace's stream patterns
 
@@ -213,6 +214,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_cache_args(sweep_parser)
     add_jobs_arg(sweep_parser)
+
+    tune_parser = sub.add_parser(
+        "tune",
+        help="black-box search over the HoPP design space "
+             "(HPD/STT/policy/placement), cached and resumable",
+    )
+    tune_parser.add_argument(
+        "--space", default="hpd",
+        help="named search space: hpd, hopp-core, placement, or full",
+    )
+    tune_parser.add_argument(
+        "--strategy", default="random",
+        help="search strategy: random, evolve, or sha",
+    )
+    tune_parser.add_argument(
+        "--budget", type=int, default=8, metavar="N",
+        help="candidate evaluations to spend (cache hits still count: "
+             "the trajectory must not depend on cache state)",
+    )
+    tune_parser.add_argument("--workload", "-w", required=True)
+    tune_parser.add_argument(
+        "--system", "-s", default="hopp",
+        help="base system whose knobs the space overrides "
+             "(must be HoPP-based for system.* dimensions)",
+    )
+    tune_parser.add_argument("--fraction", "-f", type=float, default=0.5,
+                             help="local memory fraction of the footprint")
+    tune_parser.add_argument("--seed", type=int, default=1,
+                             help="seeds both the simulations and the search")
+    tune_parser.add_argument(
+        "--objective", default="normalized_performance", metavar="METRIC",
+        help="metric to maximize; prefix '-' to minimize "
+             "(e.g. '-completion_time_us')",
+    )
+    tune_parser.add_argument(
+        "--constrain", action="append", default=[], metavar="EXPR",
+        help="constraint like 'accuracy>=0.5' or "
+             "'prefetch_wasted<=100@5' (repeatable; '@w' sets the "
+             "scalarization penalty weight)",
+    )
+    tune_parser.add_argument(
+        "--fidelity", default=None, metavar="KWARG=V1,V2,...",
+        help="trace-length ladder over a workload kwarg, cheapest "
+             "first (e.g. 'passes=1,2'); required for --strategy sha",
+    )
+    tune_parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append-only JSONL trial journal (enables --resume)",
+    )
+    tune_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing --journal and continue the identical "
+             "trajectory from where it stopped",
+    )
+    tune_parser.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write the best-config report (JSON, trajectory included)",
+    )
+    add_cache_args(tune_parser)
+    add_jobs_arg(tune_parser)
 
     trace_parser = sub.add_parser("trace", help="capture an HMTT trace")
     add_run_args(trace_parser)
@@ -474,6 +535,30 @@ def _make_cache(args) -> Optional[ResultCache]:
     return ResultCache(Path(root)) if root else ResultCache()
 
 
+def _require_positive(value, flag: str, kind: str = "int") -> None:
+    """The shared numeric-flag guard: a zero or negative count/budget/
+    fraction is always a typo, and failing here gives a one-line error
+    instead of a deep traceback (or a silent no-op sweep)."""
+    if value is None:
+        return
+    if value <= 0:
+        shown = f"{value:g}" if kind == "float" else str(value)
+        raise ValueError(f"{flag} must be > 0, got {shown}")
+
+
+def _cache_summary(cache: Optional[ResultCache]) -> str:
+    """One line of ResultCache counters for sweep/tune summaries —
+    'misses 0, stores 0' on a warm rerun is the proof that no fresh
+    simulation happened."""
+    if cache is None:
+        return "cache: disabled (--no-cache)"
+    stats = cache.stats()
+    return (
+        f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['stores']} stores, {stats['refused']} refused"
+    )
+
+
 def _cmd_list(_args) -> int:
     print("workloads:")
     for name in workload_names():
@@ -606,6 +691,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    _require_positive(args.jobs, "--jobs")
+    _require_positive(args.fraction, "--fraction", kind="float")
     fabric = FabricConfig(seed=args.seed)
     fault_plan = _load_fault_plan(args.fault_plan, args.seed)
     cluster = _cluster_config(args)
@@ -656,17 +743,21 @@ def _cmd_compare(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.analysis.sweeps import sweep
 
+    _require_positive(args.jobs, "--jobs")
     workloads = [n.strip() for n in args.workloads.split(",") if n.strip()]
     system_names = [n.strip() for n in args.systems.split(",") if n.strip()]
     fractions = [float(f) for f in args.fractions.split(",") if f.strip()]
+    for fraction in fractions:
+        _require_positive(fraction, "--fractions", kind="float")
     metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    cache = _make_cache(args)
     result = sweep(
         workloads=workloads,
         systems=system_names,
         fractions=fractions,
         seed=args.seed,
         jobs=args.jobs,
-        cache=_make_cache(args),
+        cache=cache,
     )
     rows = [
         row[:3] + [f"{value:.3f}" for value in row[3:]]
@@ -677,6 +768,132 @@ def _cmd_sweep(args) -> int:
         title=f"{len(result.points)}-point sweep (seed={args.seed}, "
               f"jobs={args.jobs})",
     ))
+    print(_cache_summary(cache))
+    return 0
+
+
+def _parse_fidelity(value: Optional[str]):
+    """``--fidelity passes=1,2`` -> a FidelitySpec (cheapest rung
+    first, full fidelity last)."""
+    if value is None:
+        return None
+    from repro.tune import FidelitySpec
+
+    kwarg, eq, raw = value.partition("=")
+    kwarg = kwarg.strip()
+    rungs: List[object] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            rungs.append(int(token))
+        except ValueError:
+            try:
+                rungs.append(float(token))
+            except ValueError:
+                raise ValueError(
+                    f"--fidelity value {token!r} is not numeric"
+                ) from None
+    if not eq or not kwarg or not rungs:
+        raise ValueError(
+            f"--fidelity must look like 'passes=1,2', got {value!r}"
+        )
+    return FidelitySpec(kwarg, tuple(rungs))
+
+
+def _cmd_tune(args) -> int:
+    from repro.tune import (
+        Evolutionary,
+        Objective,
+        RandomSearch,
+        SuccessiveHalving,
+        Tuner,
+        build_space,
+        default_config,
+        render_trajectory,
+        strategy_names,
+        write_report,
+    )
+
+    _require_positive(args.budget, "--budget")
+    _require_positive(args.jobs, "--jobs")
+    _require_positive(args.fraction, "--fraction", kind="float")
+    if args.resume and args.journal is None:
+        raise ValueError("--resume needs --journal (the file to replay)")
+    space = build_space(args.space)
+    fidelity = _parse_fidelity(args.fidelity)
+    objective = Objective.parse(args.objective, args.constrain)
+    fabric = FabricConfig(seed=args.seed)
+    base = RunSpec(
+        workload=args.workload,
+        system=args.system,
+        fraction=args.fraction,
+        seed=args.seed,
+        fabric=fabric,
+    )
+
+    # Strategy shapes must not depend on --budget: the journal header
+    # records them, and a resumed run may extend the budget.  ask()
+    # truncates to the remaining budget, so fixed shapes stay correct.
+    if args.strategy == "random":
+        strategy = RandomSearch(space, args.seed)
+    elif args.strategy == "evolve":
+        # Warm-start generation zero with the paper's own configuration,
+        # so the search can only improve on the expert baseline.
+        strategy = Evolutionary(
+            space, args.seed, mu=4, lam=4,
+            seed_configs=[default_config(space, base)],
+        )
+    elif args.strategy == "sha":
+        if fidelity is None or len(fidelity.values) < 2:
+            raise ValueError(
+                "--strategy sha needs a --fidelity ladder with >= 2 "
+                "rungs (e.g. --fidelity passes=1,2)"
+            )
+        rungs = len(fidelity.values)
+        strategy = SuccessiveHalving(
+            space, args.seed,
+            initial=SuccessiveHalving.plan_initial(
+                args.budget, eta=2, rungs=rungs
+            ),
+            eta=2, rungs=rungs,
+        )
+    else:
+        raise ValueError(
+            f"unknown --strategy {args.strategy!r}; known: "
+            f"{', '.join(strategy_names())}"
+        )
+
+    cache = _make_cache(args)
+    tuner = Tuner(
+        space, strategy, base, budget=args.budget, objective=objective,
+        fidelity=fidelity, jobs=args.jobs, cache=cache,
+        journal=Path(args.journal) if args.journal else None,
+        resume=args.resume,
+    )
+    result = tuner.run()
+    print(render_trajectory(result))
+    best = result.best
+    if best is None:
+        print("no full-fidelity trial completed; raise --budget")
+    else:
+        rows = [["score", f"{best.score:.4f}"],
+                ["trial", best.index],
+                ["feasible", objective.feasible(best.metrics)]]
+        rows += [[name, f"{best.config[name]!r}"]
+                 for name in sorted(best.config)]
+        print(render_table(
+            ["best config", "value"], rows,
+            title=f"{args.strategy} over '{args.space}' on "
+                  f"{args.workload} ({len(result.trials)} trials, "
+                  f"{result.evaluations} evaluated, "
+                  f"{result.journal_replays} replayed)",
+        ))
+    print(_cache_summary(cache))
+    if args.report_out:
+        path = write_report(result, Path(args.report_out))
+        print(f"wrote {path}")
     return 0
 
 
@@ -825,6 +1042,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "tune": _cmd_tune,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "study": _cmd_study,

@@ -44,7 +44,9 @@ from repro.workloads import registry as workload_registry
 #: v4: end-to-end integrity — RunSpec gained the ``scrub`` key
 #: dimension, FaultPlan gained corruption fields, and RunResult's wire
 #: format gained the optional ``integrity`` section.
-SCHEMA_VERSION = 4
+#: v5: design-space autotuner — RunSpec gained the ``system_kwargs``
+#: key dimension (HoppConfig knob overrides on registered systems).
+SCHEMA_VERSION = 5
 
 
 def canonical_json(payload: Dict[str, object]) -> str:

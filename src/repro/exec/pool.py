@@ -23,6 +23,7 @@ from repro.exec.cache import ResultCache, TraceCache
 from repro.exec.spec import RunSpec
 from repro.net.rdma import FabricConfig
 from repro.sim import runner
+from repro.sim import systems as systems_mod
 from repro.sim.metrics import RunResult
 from repro.workloads import build as build_workload
 
@@ -40,9 +41,14 @@ def run_spec(spec: RunSpec, trace_cache: Optional[TraceCache] = None) -> RunResu
     trace = None
     if trace_cache is not None:
         trace = trace_cache.get(spec.workload, spec.seed, spec.workload_kwargs)
+    system = (
+        systems_mod.variant(spec.system, spec.system_kwargs)
+        if spec.system_kwargs
+        else spec.system
+    )
     return runner.run(
         workload,
-        spec.system,
+        system,
         spec.fraction,
         spec.fabric,
         spec.fault_plan,

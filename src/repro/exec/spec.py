@@ -57,6 +57,11 @@ class RunSpec:
     fraction: float = 0.5
     seed: int = 1
     workload_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: HoppConfig knob overrides applied on top of the named system
+    #: (dotted paths, see :func:`repro.sim.systems.variant`); the
+    #: autotuner's way of walking HPD/STT/policy geometry.  Empty means
+    #: the registered system verbatim.
+    system_kwargs: Dict[str, object] = field(default_factory=dict)
     fabric: Optional[FabricConfig] = None
     fault_plan: Optional[FaultPlan] = None
     cluster: Optional[ClusterConfig] = None
@@ -84,6 +89,11 @@ class RunSpec:
             },
             "seed": self.seed,
             "system": self.system,
+            # Every tunable knob must perturb the key, or a stale cache
+            # entry would silently poison a design-space search.
+            "system_kwargs": {
+                str(k): self.system_kwargs[k] for k in sorted(self.system_kwargs)
+            },
             "fraction": self.fraction,
             "fabric": asdict(fabric),
             "fault_plan": None if self.fault_plan is None else self.fault_plan.to_dict(),

@@ -1,0 +1,88 @@
+"""Trajectory and best-config reporting for tuning runs.
+
+The archgym-style artifact is best-fitness-vs-trials: for every trial
+index, the best scalarized score seen so far.  Two searches are
+"the same" exactly when these curves coincide — which is what the
+determinism and resume tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.tune.tuner import TuneResult
+
+
+def trajectory_rows(result: TuneResult) -> List[Dict[str, object]]:
+    """One row per trial: index, fidelity, this score, best-so-far."""
+    rows: List[Dict[str, object]] = []
+    best = float("-inf")
+    for trial in result.trials:
+        if trial.score > best:
+            best = trial.score
+        rows.append(
+            {
+                "trial": trial.index,
+                "fidelity": trial.fidelity,
+                "score": trial.score,
+                "best": best,
+                "source": trial.source,
+            }
+        )
+    return rows
+
+
+def render_trajectory(result: TuneResult, width: int = 40) -> str:
+    """A terminal-friendly best-fitness-vs-trials sparkline table."""
+    rows = trajectory_rows(result)
+    if not rows:
+        return "(no trials)"
+    scores = [row["best"] for row in rows]
+    lo, hi = min(scores), max(scores)
+    span = hi - lo
+    lines = [f"{'trial':>5}  {'score':>10}  {'best':>10}  progress"]
+    for row in rows:
+        frac = 1.0 if span == 0 else (row["best"] - lo) / span
+        bar = "#" * max(1, int(round(frac * width)))
+        lines.append(
+            f"{row['trial']:>5}  {row['score']:>10.4f}  "
+            f"{row['best']:>10.4f}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def best_config_report(result: TuneResult) -> Dict[str, object]:
+    """The machine-readable "what won" summary the CLI and CI emit."""
+    best = result.best
+    return {
+        "strategy": result.strategy_name,
+        "objective": result.objective.to_dict(),
+        "trials": len(result.trials),
+        "evaluations": result.evaluations,
+        "journal_replays": result.journal_replays,
+        "cache": dict(result.cache_stats),
+        "best": None
+        if best is None
+        else {
+            "trial": best.index,
+            "score": best.score,
+            "feasible": result.objective.feasible(best.metrics),
+            "config": dict(best.config),
+            "metrics": dict(best.metrics),
+        },
+        "trajectory": [[i, s] for i, s in result.trajectory()],
+    }
+
+
+def write_report(result: TuneResult, path: Path) -> Path:
+    """Persist the best-config report (JSON) next to the journal."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(best_config_report(result), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path

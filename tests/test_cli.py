@@ -234,3 +234,101 @@ class TestStudy:
         assert main(["study", "--trace", str(trace_file)]) == 0
         out = capsys.readouterr().out
         assert "offline prediction accuracy" in out
+
+
+class TestTune:
+    def test_tune_smoke_with_journal_and_report(self, tmp_path, capsys):
+        import json
+
+        journal = tmp_path / "tune.jsonl"
+        report = tmp_path / "report.json"
+        code = main([
+            "tune", "-w", "stream-simple", "--budget", "3",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(journal), "--report-out", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best config" in out
+        assert "cache:" in out  # the counters satellite
+        # Journal: one header line plus one line per trial, all JSON.
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 4
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert all(json.loads(l)["kind"] == "trial" for l in lines[1:])
+        payload = json.loads(report.read_text())
+        assert payload["best"]["score"] > 0
+        assert len(payload["trajectory"]) == 3
+
+    def test_tune_resume_replays_then_extends(self, tmp_path, capsys):
+        journal = tmp_path / "tune.jsonl"
+        args = ["tune", "-w", "stream-simple",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--journal", str(journal)]
+        assert main(args + ["--budget", "2"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--budget", "4", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 replayed" in out
+        assert len(journal.read_text().splitlines()) == 5
+
+    def test_sha_requires_a_fidelity_ladder(self, tmp_path, capsys):
+        assert main([
+            "tune", "-w", "stream-simple", "--strategy", "sha",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "--fidelity" in capsys.readouterr().err
+
+    def test_unknown_space_and_strategy_fail(self, tmp_path, capsys):
+        assert main([
+            "tune", "-w", "stream-simple", "--space", "bogus",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "unknown search space" in capsys.readouterr().err
+        assert main([
+            "tune", "-w", "stream-simple", "--strategy", "bogus",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "--strategy" in capsys.readouterr().err
+
+    def test_resume_without_journal_fails(self, tmp_path, capsys):
+        assert main([
+            "tune", "-w", "stream-simple", "--resume",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+
+class TestSweepCacheCounters:
+    def test_sweep_prints_cache_counters(self, tmp_path, capsys):
+        args = ["sweep", "-w", "stream-simple", "-s", "hopp",
+                "-f", "0.5", "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "cache:" in cold and "stores" in cold
+        # The warm rerun must prove zero fresh simulations.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm and "0 stores" in warm
+
+
+class TestNumericFlagValidation:
+    @pytest.mark.parametrize(
+        "argv, flag",
+        [
+            (["tune", "-w", "stream-simple", "--budget", "0"], "--budget"),
+            (["tune", "-w", "stream-simple", "--budget", "-3"], "--budget"),
+            (["tune", "-w", "stream-simple", "--jobs", "0"], "--jobs"),
+            (["tune", "-w", "stream-simple", "-f", "0"], "--fraction"),
+            (["sweep", "-w", "stream-simple", "--jobs", "-1"], "--jobs"),
+            (["sweep", "-w", "stream-simple", "--fractions", "0.5,0"],
+             "--fractions"),
+            (["compare", "-w", "stream-simple", "--jobs", "0"], "--jobs"),
+            (["compare", "-w", "stream-simple", "-f", "-0.5"], "--fraction"),
+        ],
+    )
+    def test_nonpositive_numeric_flags_fail_typed(self, argv, flag, capsys):
+        assert main(argv + ["--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "must be > 0" in err

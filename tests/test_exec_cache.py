@@ -74,6 +74,8 @@ class TestCacheKey:
             dict(scrub=ScrubConfig(rate_pages_per_s=1000.0)),
             dict(fault_plan=FaultPlan(bit_flip_read=0.01)),
             dict(fault_plan=FaultPlan(media_error_rate=0.05)),
+            dict(system_kwargs={"hpd_threshold": 16}),
+            dict(system_kwargs={"policy.alpha": 0.4}),
         ],
     )
     def test_every_field_perturbs_the_key(self, override):
@@ -126,9 +128,9 @@ class TestRunnerSignatureAudit:
     def test_spec_fields_map_onto_key_dict(self):
         key = small_spec().key_dict()
         assert set(key) == {
-            "workload", "workload_kwargs", "seed", "system", "fraction",
-            "fabric", "fault_plan", "cluster", "check_invariants",
-            "telemetry", "memtier", "scrub",
+            "workload", "workload_kwargs", "seed", "system",
+            "system_kwargs", "fraction", "fabric", "fault_plan", "cluster",
+            "check_invariants", "telemetry", "memtier", "scrub",
         }
         # The projection must be JSON-stable (the hash input).
         json.dumps(key, sort_keys=True)
